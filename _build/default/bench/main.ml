@@ -1,0 +1,149 @@
+(* Benchmark harness: regenerates every table and figure of the paper
+   (via Imk_harness.Experiments) and runs real-CPU micro-benchmarks of the
+   primitive operations with Bechamel.
+
+   Usage:
+     bench/main.exe                 run everything (default runs/config)
+     bench/main.exe --exp fig9      one experiment
+     bench/main.exe --runs 100      paper-strength repetitions
+     bench/main.exe --functions 400 smaller synthetic kernels (smoke)
+     bench/main.exe --exp micro     only the Bechamel micro-benchmarks *)
+
+let runs = ref 20
+let exps = ref []
+let functions = ref None
+let scale = ref 16
+
+let usage () =
+  prerr_endline
+    "usage: main.exe [--exp <id>]... [--runs N] [--functions N] [--scale N]\n\
+     experiments: table1 fig3 fig4 fig5 fig6 fig9 fig10 fig11 qemu throughput security\n\
+     \             ablation-kallsyms ablation-orc ablation-page-sharing ablation-rerando ablation-zygote ablation-unikernel ablation-devices micro all";
+  exit 2
+
+let rec parse = function
+  | [] -> ()
+  | "--exp" :: v :: rest ->
+      exps := v :: !exps;
+      parse rest
+  | "--runs" :: v :: rest ->
+      runs := int_of_string v;
+      parse rest
+  | "--functions" :: v :: rest ->
+      functions := Some (int_of_string v);
+      parse rest
+  | "--scale" :: v :: rest ->
+      scale := int_of_string v;
+      parse rest
+  | _ -> usage ()
+
+let print_output (o : Imk_harness.Experiments.output) =
+  Printf.printf "\n=== %s ===\n" o.Imk_harness.Experiments.title;
+  Imk_util.Table.print o.Imk_harness.Experiments.table;
+  List.iter (fun n -> Printf.printf "  note: %s\n" n) o.Imk_harness.Experiments.notes;
+  flush stdout
+
+(* --- Bechamel micro-benchmarks: the primitive costs behind the cost
+   model, measured on the real CPU --- *)
+
+let micro () =
+  let open Bechamel in
+  let small_cfg () =
+    {
+      (Imk_kernel.Config.make ~scale:1 Imk_kernel.Config.Aws Imk_kernel.Config.Kaslr)
+      with Imk_kernel.Config.functions = 400;
+    }
+  in
+  let input = (Imk_kernel.Image.build (small_cfg ())).Imk_kernel.Image.vmlinux in
+  let sample = Bytes.sub input 0 (min (256 * 1024) (Bytes.length input)) in
+  let codec_tests =
+    List.concat_map
+      (fun codec ->
+        let open Imk_compress in
+        let compressed = codec.Codec.compress sample in
+        [
+          Test.make
+            ~name:(codec.Codec.name ^ "-compress-256k")
+            (Staged.stage (fun () -> ignore (codec.Codec.compress sample)));
+          Test.make
+            ~name:(codec.Codec.name ^ "-decompress-256k")
+            (Staged.stage (fun () -> ignore (codec.Codec.decompress compressed)));
+        ])
+      [ Imk_compress.Lz4.codec; Imk_compress.Gzip.codec ]
+  in
+  let reloc_test =
+    let built = Imk_kernel.Image.build (small_cfg ()) in
+    Test.make ~name:"kaslr-apply-relocs"
+      (Staged.stage (fun () ->
+           let mem = Imk_memory.Guest_mem.create ~size:(64 * 1024 * 1024) in
+           let phys = Imk_memory.Addr.default_phys_load in
+           Imk_randomize.Loadelf.place mem built.Imk_kernel.Image.elf
+             ~phys_load:phys ~plan:None;
+           Imk_randomize.Kaslr.apply ~mem ~relocs:built.Imk_kernel.Image.relocs
+             ~site_pa:(fun va -> va - Imk_memory.Addr.link_base + phys)
+             ~new_va_of:(Imk_randomize.Kaslr.delta_new_va ~delta:0x200000)))
+  in
+  let shuffle_test =
+    let rng = Imk_entropy.Prng.create ~seed:3L in
+    let sections =
+      Array.init 4000 (fun i -> (Imk_memory.Addr.link_base + (i * 512), 512))
+    in
+    Test.make ~name:"fgkaslr-plan-4000-sections"
+      (Staged.stage (fun () ->
+           ignore
+             (Imk_randomize.Fgkaslr.make_plan rng ~sections
+                ~text_base:Imk_memory.Addr.link_base)))
+  in
+  let elf_test =
+    Test.make ~name:"elf-parse"
+      (Staged.stage (fun () -> ignore (Imk_elf.Parser.parse input)))
+  in
+  let tests =
+    Test.make_grouped ~name:"primitives" ~fmt:"%s/%s"
+      (codec_tests @ [ reloc_test; shuffle_test; elf_test ])
+  in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  Printf.printf "\n=== Micro-benchmarks (real CPU, Bechamel) ===\n";
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      match Analyze.OLS.estimates ols with
+      | Some [ est ] -> rows := (name, est) :: !rows
+      | _ -> ())
+    results;
+  List.iter
+    (fun (name, est) -> Printf.printf "%-42s %14.0f ns/run\n" name est)
+    (List.sort compare !rows);
+  flush stdout
+
+let () =
+  parse (List.tl (Array.to_list Sys.argv));
+  let requested = if !exps = [] then [ "all" ] else List.rev !exps in
+  let ws =
+    Imk_harness.Workspace.create ~scale:!scale ?functions_override:!functions ()
+  in
+  List.iter
+    (fun id ->
+      match id with
+      | "all" ->
+          List.iter
+            (fun eid ->
+              match Imk_harness.Experiments.by_id eid with
+              | Some f -> print_output (f ~runs:!runs ws)
+              | None -> assert false)
+            Imk_harness.Experiments.all_ids;
+          micro ()
+      | "micro" -> micro ()
+      | id -> (
+          match Imk_harness.Experiments.by_id id with
+          | Some f -> print_output (f ~runs:!runs ws)
+          | None ->
+              Printf.eprintf "unknown experiment %s\n" id;
+              usage ()))
+    requested

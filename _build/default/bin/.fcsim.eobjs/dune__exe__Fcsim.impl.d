@@ -1,0 +1,1 @@
+bin/fcsim.ml: Arg Cmd Cmdliner Format Imk_guest Imk_harness Imk_kernel Imk_monitor Imk_storage Imk_util Imk_vclock Int64 List Printf String Term

@@ -1,0 +1,1 @@
+bin/mkkernel.ml: Arg Bytes Cmd Cmdliner Filename Format Imk_compress Imk_kernel Imk_util List Printf String Term

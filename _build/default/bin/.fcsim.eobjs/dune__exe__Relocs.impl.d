@@ -1,0 +1,1 @@
+bin/relocs.ml: Arg Array Bytes Cmd Cmdliner Imk_elf Imk_kernel Imk_util Printf Term

@@ -1,0 +1,57 @@
+(* relocs: extract a relocation table from a vmlinux file — the analogue
+   of the Linux source tree's relocs tool the paper points at (§4.3) as
+   the way to obtain vmlinux.relocs for the monitor's extra argument.
+
+   Example:
+     relocs /tmp/k/aws-kaslr.vmlinux -o /tmp/k/aws-kaslr.relocs *)
+
+open Cmdliner
+
+let input =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"VMLINUX" ~doc:"Kernel ELF image to scan.")
+
+let output =
+  Arg.(
+    value & opt (some string) None
+    & info [ "output"; "o" ] ~docv:"FILE"
+        ~doc:"Where to write the table (default: print a summary only).")
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let b = Bytes.create n in
+  really_input ic b 0 n;
+  close_in ic;
+  b
+
+let run input output =
+  let vmlinux = read_file input in
+  match Imk_kernel.Relocs_tool.extract vmlinux with
+  | exception Imk_kernel.Relocs_tool.Unsupported m ->
+      Printf.eprintf "relocs: %s\n" m;
+      1
+  | table ->
+      let open Imk_elf.Relocation in
+      Printf.printf "%s: %d relocations (%d abs64, %d abs32, %d inv32), %s\n"
+        input (entry_count table)
+        (Array.length table.abs64)
+        (Array.length table.abs32)
+        (Array.length table.inv32)
+        (Imk_util.Units.bytes_to_string (size_bytes table));
+      (match output with
+      | None -> ()
+      | Some path ->
+          let oc = open_out_bin path in
+          output_bytes oc (encode table);
+          close_out oc;
+          Printf.printf "wrote %s\n" path);
+      0
+
+let cmd =
+  let doc = "extract relocation info from a vmlinux (like Linux's relocs tool)" in
+  Cmd.v (Cmd.info "relocs" ~doc) Term.(const run $ input $ output)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,1 @@
+examples/attack_surface.ml: Array Imk_entropy Imk_harness Imk_kernel Imk_monitor Imk_randomize Imk_security Imk_util List Printf Vm_config Vmm

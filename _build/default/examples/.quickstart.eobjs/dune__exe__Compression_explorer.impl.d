@@ -1,0 +1,1 @@
+examples/compression_explorer.ml: Bytes Codec Imk_compress Imk_kernel Imk_util Imk_vclock List Printf Unix

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bytes Imk_elf Imk_guest Imk_kernel Imk_monitor Imk_storage Imk_util Imk_vclock List Printf

@@ -1,0 +1,1 @@
+examples/serverless_pool.ml: Bytes Hashtbl Imk_guest Imk_harness Imk_kernel Imk_memory Imk_monitor Imk_util Imk_vclock Int64 List Printf Vm_config Vmm

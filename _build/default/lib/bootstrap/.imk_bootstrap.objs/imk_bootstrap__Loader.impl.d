@@ -1,0 +1,1 @@
+lib/bootstrap/loader.ml: Addr Array Bytes Bzimage Charge Config Cost_model Guest_mem Imk_elf Imk_entropy Imk_guest Imk_kernel Imk_memory Imk_randomize Imk_util Imk_vclock Page_table Printf Trace

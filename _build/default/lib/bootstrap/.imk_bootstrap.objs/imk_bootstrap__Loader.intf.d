@@ -1,0 +1,1 @@
+lib/bootstrap/loader.mli: Imk_entropy Imk_guest Imk_kernel Imk_memory Imk_vclock

@@ -1,0 +1,257 @@
+open Imk_memory
+open Imk_vclock
+
+exception Loader_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Loader_error s)) fmt
+
+type rando_request = Loader_off | Loader_kaslr | Loader_fgkaslr
+
+type policy = {
+  kallsyms_fixup : bool;
+  orc_fixup : bool;
+  write_setup_data : bool;
+}
+
+let default_policy =
+  { kallsyms_fixup = true; orc_fixup = false; write_setup_data = false }
+
+let stripped_policy =
+  { kallsyms_fixup = false; orc_fixup = false; write_setup_data = false }
+
+let setup_data_pa = Imk_guest.Boot_params.default_setup_data_pa
+let loader_stack_bytes = 64 * 1024
+let loader_bss_bytes = 128 * 1024
+let base_heap_bytes = 256 * 1024
+
+let modeled (config : Imk_kernel.Config.t) n =
+  Imk_kernel.Config.modeled_of_actual config n
+
+let bytes_at_early_rate cm bytes =
+  int_of_float (float_of_int bytes /. cm.Cost_model.early_zero_bps *. 1e9)
+
+(* setup: mode transitions, loader stack/heap/bss zeroing and early
+   4 KiB-page identity tables. The FGKASLR heap must hold a copy of the
+   whole text, up to 8x the KASLR heap (§5.2) — [modeled_heap_bytes] is
+   the full-scale volume to zero. *)
+let charge_setup ch config ~modeled_heap_bytes =
+  ignore config;
+  let cm = Charge.model ch in
+  Charge.pay ch (int_of_float cm.Cost_model.loader_fixed_ns);
+  (* the loader's own fixed structures (not kernel-size dependent) *)
+  Charge.pay ch
+    (bytes_at_early_rate cm (loader_stack_bytes + loader_bss_bytes));
+  Charge.pay ch (bytes_at_early_rate cm modeled_heap_bytes);
+  (* identity map of the first GiB with 4 KiB pages: the loader runs
+     before large pages are available *)
+  let pt =
+    Page_table.identity_map
+      ~covered_bytes:(Imk_util.Units.gib 1)
+      ~page_size:Page_table.Four_k
+  in
+  Charge.pay ch (bytes_at_early_rate cm (Page_table.table_bytes pt));
+  Charge.pay ch
+    (int_of_float
+       (cm.Cost_model.pte_write_ns *. float_of_int (Page_table.entries pt)))
+
+let section_actual_count mem ~pa ~what =
+  match Guest_mem.get_u32 mem ~pa with
+  | count when count >= 0 && count < 10_000_000 -> count
+  | _ -> fail "implausible %s count" what
+  | exception Guest_mem.Fault m -> fail "%s header unreadable: %s" what m
+
+let run ch mem ~bzimage ~staging_pa ~config ~rando ~policy ~rng =
+  ignore staging_pa;
+  let cm = Charge.model ch in
+  let open Imk_kernel in
+  let payload_len = Bytes.length bzimage.Bzimage.payload in
+  let uncompressed_len = bzimage.Bzimage.vmlinux_len + bzimage.Bzimage.relocs_len in
+  (* early parameter parsing: the command line can veto randomization,
+     exactly as Linux's loader honours nokaslr / nofgkaslr (§5.1) *)
+  let rando =
+    match Imk_guest.Boot_info.read mem with
+    | exception Imk_guest.Boot_info.Invalid _ -> rando
+    | info ->
+        if Imk_guest.Boot_info.has_flag info "nokaslr" then Loader_off
+        else if
+          rando = Loader_fgkaslr
+          && Imk_guest.Boot_info.has_flag info "nofgkaslr"
+        then Loader_kaslr
+        else rando
+  in
+  let fg = rando = Loader_fgkaslr in
+  (* 1. loader setup: the FGKASLR heap must hold the whole text section
+     copy, so its modelled size is the full-scale kernel *)
+  let modeled_heap_bytes =
+    if fg then max base_heap_bytes (modeled config bzimage.Bzimage.vmlinux_len)
+    else base_heap_bytes
+  in
+  Charge.span ch Trace.Bootstrap_setup "loader-setup" (fun () ->
+      charge_setup ch config ~modeled_heap_bytes;
+      (* standard boot: move the compressed (or merely concatenated, for
+         compression-none) kernel out of the way of in-place
+         decompression — step 2 of §3.3, eliminated by None_optimized *)
+      if bzimage.Bzimage.variant = Bzimage.Standard then
+        Charge.pay ch
+          (Cost_model.memcpy_cost cm ~in_guest:true (modeled config payload_len)));
+  (* 2. decompression (the data transformation is always real). The
+     decompressor writes its output directly at the kernel's run
+     location, so no separate segment-copy cost follows — matching the
+     real loader, where parse_elf only shifts segment boundaries. *)
+  let vmlinux, relocs_bytes =
+    Charge.span ch Trace.Decompression ("decompress-" ^ bzimage.Bzimage.codec)
+      (fun () ->
+        let v, r = Bzimage.unpack_payload bzimage in
+        (match (bzimage.Bzimage.variant, bzimage.Bzimage.codec) with
+        | Bzimage.Standard, "none" ->
+            (* unoptimized compression-none: "decompression" is a copy of
+               the whole kernel to the location it expects to run (§3.3) *)
+            Charge.pay ch
+              (Cost_model.memcpy_cost cm ~in_guest:true (modeled config uncompressed_len))
+        | Bzimage.Standard, codec ->
+            Charge.pay ch
+              (Cost_model.decompress_cost cm ~codec
+                 ~out_bytes:(modeled config uncompressed_len))
+        | Bzimage.None_optimized, _ -> ());
+        (v, r))
+  in
+  (* 3..6: parse, randomize, load, relocate — all Bootstrap Setup *)
+  Charge.span ch Trace.Bootstrap_setup "loader-main" (fun () ->
+      let elf =
+        try Imk_elf.Parser.parse vmlinux
+        with Imk_elf.Parser.Malformed m -> fail "kernel ELF: %s" m
+      in
+      Charge.pay ch
+        (Cost_model.elf_parse_cost cm
+           ~sections:(modeled config (Array.length elf.Imk_elf.Types.sections)));
+      let relocs =
+        if rando = Loader_off then Imk_elf.Relocation.empty
+        else if Bytes.length relocs_bytes = 0 then
+          fail "randomization requested but the image carries no relocations"
+        else Imk_elf.Relocation.decode relocs_bytes
+      in
+      let phys_load = Addr.default_phys_load in
+      let image_memsz = Imk_randomize.Loadelf.image_memsz elf in
+      if phys_load + image_memsz > Guest_mem.size mem then
+        fail "kernel does not fit in guest memory";
+      (* offset selection burns in-guest entropy (rdrand-style) *)
+      let entropy_cost draws =
+        let pool = Imk_entropy.Pool.create Imk_entropy.Pool.Guest_rdrand ~seed:0L in
+        draws * Imk_entropy.Pool.draw_cost_ns pool
+      in
+      let delta =
+        match rando with
+        | Loader_off -> 0
+        | Loader_kaslr | Loader_fgkaslr ->
+            Charge.pay ch (entropy_cost 2);
+            Imk_randomize.Kaslr.choose_virtual rng ~image_memsz - Addr.link_base
+      in
+      let plan =
+        if not fg then None
+        else begin
+          let sections = Imk_randomize.Loadelf.fn_sections elf in
+          if Array.length sections = 0 then
+            fail "FGKASLR requires a kernel built with -ffunction-sections";
+          (* copy text to the boot heap and back while shuffling *)
+          let text = Imk_randomize.Loadelf.text_bytes elf in
+          Charge.pay ch
+            (2 * Cost_model.memcpy_cost cm ~in_guest:true (modeled config text));
+          Charge.pay ch
+            (int_of_float
+               (cm.Cost_model.section_shuffle_ns
+               *. float_of_int (modeled config (Array.length sections))));
+          Some
+            (Imk_randomize.Fgkaslr.make_plan rng ~sections
+               ~text_base:Addr.link_base)
+        end
+      in
+      (* segment placement: always a real data operation so the loaded
+         image is genuine, but free on the clock — the standard path's
+         copies were charged as decompression output above, and the
+         optimized link runs in place (§3.3) *)
+      Imk_randomize.Loadelf.place mem elf ~phys_load ~plan;
+      (* relocation handling *)
+      let displace va =
+        match plan with Some p -> Imk_randomize.Fgkaslr.displace p va | None -> va
+      in
+      if rando <> Loader_off then begin
+        let site_pa va = displace va - Addr.link_base + phys_load in
+        let new_va_of va =
+          Imk_randomize.Kaslr.delta_new_va ~delta (displace va)
+        in
+        Imk_randomize.Kaslr.apply ~mem ~relocs ~site_pa ~new_va_of;
+        let entries = modeled config (Imk_elf.Relocation.entry_count relocs) in
+        let cost =
+          match plan with
+          | None -> Cost_model.reloc_cost cm ~in_guest:true ~entries
+          | Some p ->
+              Cost_model.fg_reloc_cost cm ~in_guest:true ~entries
+                ~sections:(modeled config p.Imk_randomize.Fgkaslr.count)
+        in
+        Charge.pay ch cost
+      end;
+      (* table fixups (FGKASLR only; plain KASLR leaves relative tables
+         valid) *)
+      (match plan with
+      | None -> ()
+      | Some p ->
+          let sec_pa name =
+            match Imk_elf.Types.section_by_name elf name with
+            | Some s -> (s.addr - Addr.link_base + phys_load, s.addr)
+            | None -> fail "kernel has no %s section" name
+          in
+          let extab_pa, extab_va = sec_pa ".extab" in
+          Imk_randomize.Fgkaslr.fixup_extab mem ~pa:extab_pa ~extab_va p;
+          let extab_count = section_actual_count mem ~pa:extab_pa ~what:"extab" in
+          Charge.pay ch
+            (int_of_float
+               (cm.Cost_model.extab_fixup_ns
+               *. float_of_int (modeled config extab_count)));
+          (* symbol-table adjustment cost (Linux fixes up the ELF symtab
+             as part of FGKASLR) *)
+          Charge.pay ch
+            (int_of_float
+               (cm.Cost_model.symbol_fixup_ns
+               *. float_of_int (modeled config (Array.length elf.Imk_elf.Types.symbols))));
+          if policy.kallsyms_fixup then begin
+            let kallsyms_pa, _ = sec_pa ".kallsyms" in
+            Imk_randomize.Fgkaslr.fixup_kallsyms mem ~pa:kallsyms_pa p;
+            Charge.pay ch
+              (int_of_float
+                 (cm.Cost_model.kallsyms_ns_per_sym
+                 *. float_of_int (modeled config config.Config.functions)))
+          end;
+          if policy.orc_fixup then
+            (match Imk_elf.Types.section_by_name elf ".orc_unwind" with
+            | None -> ()
+            | Some s ->
+                let pa = s.addr - Addr.link_base + phys_load in
+                Imk_randomize.Fgkaslr.fixup_orc mem ~pa ~orc_va:s.addr p;
+                let count = section_actual_count mem ~pa ~what:"orc" in
+                Charge.pay ch
+                  (int_of_float
+                     (cm.Cost_model.extab_fixup_ns *. float_of_int (modeled config count))));
+          if policy.write_setup_data then begin
+            let blob =
+              Imk_guest.Boot_params.setup_data_encode
+                (Imk_randomize.Fgkaslr.displacement_pairs p)
+            in
+            Guest_mem.write_bytes mem ~pa:setup_data_pa blob
+          end);
+      (* the jump to startup_64 *)
+      Trace.tracepoint (Charge.trace ch) Trace.Bootstrap_setup "jump-to-kernel";
+      let kernel_info = Imk_guest.Boot_params.kernel_info_of_elf elf config in
+      let kallsyms_fixed =
+        (not fg) || policy.kallsyms_fixup
+      in
+      {
+        Imk_guest.Boot_params.phys_load;
+        virt_base = Addr.link_base + delta;
+        entry_va = displace elf.Imk_elf.Types.entry + delta;
+        mem_bytes = Guest_mem.size mem;
+        kernel = kernel_info;
+        kallsyms_fixed;
+        orc_fixed = (not fg) || policy.orc_fixup;
+        setup_data_pa =
+          (if policy.write_setup_data && fg then Some setup_data_pa else None);
+      })

@@ -1,0 +1,68 @@
+(** The bootstrap loader: bzImage self-bootstrapping in guest context.
+
+    Reproduces the paper's account of a bzImage boot (§2.2, §3.2, §3.3):
+
+    + set up a boot stack, heap, bss and early page tables — the
+      "Bootstrap Setup" cost, which grows for FGKASLR because the heap
+      must hold a copy of the entire text section (up to 8× larger, §5.2);
+    + for a standard compressed image, copy the compressed kernel out of
+      the way of in-place decompression;
+    + decompress (or, for the unoptimized compression-none kernel, copy
+      the kernel to the location it expects to run at);
+    + parse the kernel ELF and load its segments;
+    + if randomization is requested: choose offsets using in-guest
+      entropy (rdrand-style costs), shuffle function sections (FGKASLR),
+      handle relocations and fix up the address-ordered tables;
+    + jump to [startup_64].
+
+    The {!Imk_kernel.Bzimage.None_optimized} variant skips the copies and
+    decompression entirely (§3.3): the kernel was linked aligned so that
+    it can execute where the monitor loaded it. Segment placement still
+    happens as a data operation (the simulation's loaded-image state must
+    be real) but costs nothing — the paper's point is precisely that the
+    linker trick makes those copies free.
+
+    All randomization work reuses {!Imk_randomize} — the same algorithm
+    the monitor uses, with guest-side cost accounting (§4.3). *)
+
+exception Loader_error of string
+
+type rando_request = Loader_off | Loader_kaslr | Loader_fgkaslr
+
+type policy = {
+  kallsyms_fixup : bool;
+      (** eager kallsyms rewrite (stock Linux loader) vs skipping it (the
+          paper's stripped loader used for fair comparison, §4.3) *)
+  orc_fixup : bool;
+  write_setup_data : bool;
+      (** stash the displacement blob for deferred fixups *)
+}
+
+val default_policy : policy
+(** Eager kallsyms, no ORC, no setup data — the stock loader. *)
+
+val stripped_policy : policy
+(** No kallsyms or ORC fixup — the apples-to-apples comparator. *)
+
+val setup_data_pa : int
+(** Fixed guest-physical address of the setup-data blob (the real-mode
+    data area at 0x90000). *)
+
+val run :
+  Imk_vclock.Charge.t ->
+  Imk_memory.Guest_mem.t ->
+  bzimage:Imk_kernel.Bzimage.t ->
+  staging_pa:int ->
+  config:Imk_kernel.Config.t ->
+  rando:rando_request ->
+  policy:policy ->
+  rng:Imk_entropy.Prng.t ->
+  Imk_guest.Boot_params.t
+(** [run charge mem ~bzimage ~staging_pa ~config ~rando ~policy ~rng]
+    executes the loader against guest memory where the monitor staged the
+    image at [staging_pa], charging Bootstrap Setup and Decompression
+    spans, and returns the boot parameters for the jump to the kernel.
+    Raises {!Loader_error} for impossible requests (FGKASLR on a kernel
+    without function sections, randomization without relocation info) and
+    [Imk_randomize.Kaslr.Reloc_error] / [Imk_compress.Codec.Corrupt] on
+    corrupt inputs. *)

@@ -1,0 +1,1 @@
+lib/compress/bzip2.ml: Array Bitio Buffer Bwt Bytes Codec Huffman List Mtf

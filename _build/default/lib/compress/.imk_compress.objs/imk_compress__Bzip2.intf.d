@@ -1,0 +1,1 @@
+lib/compress/bzip2.mli: Codec

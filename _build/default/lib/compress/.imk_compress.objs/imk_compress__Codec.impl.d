@@ -1,0 +1,1 @@
+lib/compress/codec.ml: Bitio Bytes Imk_util

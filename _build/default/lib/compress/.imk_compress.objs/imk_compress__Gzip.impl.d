@@ -1,0 +1,1 @@
+lib/compress/gzip.ml: Array Bitio Char Codec Huffman List Lz77

@@ -1,0 +1,1 @@
+lib/compress/lz4.ml: Buffer Bytes Char Codec Lz77

@@ -1,0 +1,1 @@
+lib/compress/lzma.ml: Array Bytes Char Codec Lz77 Range_coder

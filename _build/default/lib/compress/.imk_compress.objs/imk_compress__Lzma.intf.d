@@ -1,0 +1,1 @@
+lib/compress/lzma.mli: Codec

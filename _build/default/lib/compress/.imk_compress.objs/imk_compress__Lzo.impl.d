@@ -1,0 +1,1 @@
+lib/compress/lzo.ml: Buffer Bytes Char Codec Lz77 String

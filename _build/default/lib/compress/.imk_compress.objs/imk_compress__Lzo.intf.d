@@ -1,0 +1,1 @@
+lib/compress/lzo.mli: Codec

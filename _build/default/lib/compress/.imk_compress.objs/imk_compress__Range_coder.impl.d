@@ -1,0 +1,1 @@
+lib/compress/range_coder.ml: Array Buffer Bytes Char Codec

@@ -1,0 +1,1 @@
+lib/compress/range_coder.mli:

@@ -1,0 +1,1 @@
+lib/compress/registry.ml: Bzip2 Codec Gzip List Lz4 Lzma Lzo Store Xz

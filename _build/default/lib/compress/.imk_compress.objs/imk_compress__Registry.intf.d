@@ -1,0 +1,1 @@
+lib/compress/registry.mli: Codec

@@ -1,0 +1,1 @@
+lib/compress/xz.ml: Bytes Codec Imk_util Lzma

@@ -1,0 +1,62 @@
+module Writer = struct
+  type t = { buf : Buffer.t; mutable acc : int; mutable nbits : int; mutable total : int }
+
+  let create () = { buf = Buffer.create 4096; acc = 0; nbits = 0; total = 0 }
+
+  let flush_byte w =
+    Buffer.add_char w.buf (Char.chr (w.acc land 0xff));
+    w.acc <- 0;
+    w.nbits <- 0
+
+  let put_bit w b =
+    w.acc <- (w.acc lsl 1) lor (b land 1);
+    w.nbits <- w.nbits + 1;
+    w.total <- w.total + 1;
+    if w.nbits = 8 then flush_byte w
+
+  let put_bits w v n =
+    if n < 0 || n > 24 then invalid_arg "Bitio.put_bits: n out of range";
+    for i = n - 1 downto 0 do
+      put_bit w ((v lsr i) land 1)
+    done
+
+  let put_code w ~code ~len = put_bits w code len
+
+  let align_byte w = while w.nbits <> 0 do put_bit w 0 done
+
+  let contents w =
+    align_byte w;
+    Buffer.to_bytes w.buf
+
+  let bit_length w = w.total
+end
+
+module Reader = struct
+  type t = { data : bytes; mutable pos : int; mutable acc : int; mutable nbits : int }
+
+  exception Truncated
+
+  let create data ~pos = { data; pos; acc = 0; nbits = 0 }
+
+  let get_bit r =
+    if r.nbits = 0 then begin
+      if r.pos >= Bytes.length r.data then raise Truncated;
+      r.acc <- Char.code (Bytes.get r.data r.pos);
+      r.pos <- r.pos + 1;
+      r.nbits <- 8
+    end;
+    r.nbits <- r.nbits - 1;
+    (r.acc lsr r.nbits) land 1
+
+  let get_bits r n =
+    if n < 0 || n > 24 then invalid_arg "Bitio.get_bits: n out of range";
+    let v = ref 0 in
+    for _ = 1 to n do
+      v := (!v lsl 1) lor get_bit r
+    done;
+    !v
+
+  let align_byte r = r.nbits <- 0
+
+  let byte_pos r = r.pos
+end

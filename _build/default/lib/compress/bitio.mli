@@ -1,0 +1,51 @@
+(** Bit-level I/O for the entropy-coded codecs (gzip, bzip2).
+
+    Bits are written most-significant-first within each byte, the
+    convention used by canonical-Huffman decoders that consume codes from
+    the top of the bit reservoir. *)
+
+module Writer : sig
+  type t
+
+  val create : unit -> t
+
+  val put_bit : t -> int -> unit
+  (** [put_bit w b] appends the low bit of [b]. *)
+
+  val put_bits : t -> int -> int -> unit
+  (** [put_bits w v n] appends the low [n] bits of [v], most significant
+      first. [n] must be in [0, 24]. *)
+
+  val put_code : t -> code:int -> len:int -> unit
+  (** [put_code w ~code ~len] is [put_bits w code len]; the natural call
+      for emitting a Huffman code. *)
+
+  val align_byte : t -> unit
+  (** [align_byte w] pads with zero bits to the next byte boundary. *)
+
+  val contents : t -> bytes
+  (** [contents w] finalizes (byte-aligns) and returns the stream. *)
+
+  val bit_length : t -> int
+  (** [bit_length w] is the number of bits written so far. *)
+end
+
+module Reader : sig
+  type t
+
+  exception Truncated
+  (** Raised when reading past the end of the stream. *)
+
+  val create : bytes -> pos:int -> t
+  (** [create b ~pos] reads bits starting at byte offset [pos] of [b]. *)
+
+  val get_bit : t -> int
+
+  val get_bits : t -> int -> int
+  (** [get_bits r n] reads [n] bits (MSB-first), [n] in [0, 24]. *)
+
+  val align_byte : t -> unit
+
+  val byte_pos : t -> int
+  (** [byte_pos r] is the offset of the next unread byte once aligned. *)
+end

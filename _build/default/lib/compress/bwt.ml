@@ -1,0 +1,90 @@
+type transformed = { last_column : bytes; primary : int }
+
+(* Prefix-doubling suffix array of block+sentinel. Ranks start from byte
+   values (+1, sentinel 0) and double until all distinct; early exit makes
+   this fast on high-entropy kernel images. *)
+let suffix_array block =
+  let n = Bytes.length block + 1 in
+  let key i = if i = Bytes.length block then 0 else Char.code (Bytes.get block i) + 1 in
+  let rank = Array.init n key in
+  let sa = Array.init n (fun i -> i) in
+  let tmp = Array.make n 0 in
+  let k = ref 1 in
+  let distinct = ref false in
+  while (not !distinct) && !k < n do
+    let pair i = (rank.(i), if i + !k < n then rank.(i + !k) + 1 else 0) in
+    Array.sort (fun a b -> compare (pair a) (pair b)) sa;
+    tmp.(sa.(0)) <- 0;
+    for i = 1 to n - 1 do
+      tmp.(sa.(i)) <-
+        (tmp.(sa.(i - 1)) + if pair sa.(i) = pair sa.(i - 1) then 0 else 1)
+    done;
+    Array.blit tmp 0 rank 0 n;
+    distinct := rank.(sa.(n - 1)) = n - 1;
+    k := !k * 2
+  done;
+  sa
+
+let forward block =
+  let n = Bytes.length block in
+  let sa = suffix_array block in
+  let last = Bytes.create n in
+  let primary = ref (-1) in
+  let w = ref 0 in
+  Array.iteri
+    (fun row s ->
+      if s = 0 then primary := row
+      else begin
+        Bytes.set last !w (Bytes.get block (s - 1));
+        incr w
+      end)
+    sa;
+  assert (!primary >= 0);
+  { last_column = last; primary = !primary }
+
+let inverse { last_column; primary } =
+  let n = Bytes.length last_column in
+  if primary < 0 || primary > n then raise (Codec.Corrupt "bwt: bad primary index");
+  if n = 0 then Bytes.create 0
+  else begin
+    (* Conceptual first column = sorted (last column + sentinel at row
+       [primary]). Alphabet: 0 = sentinel, byte+1 otherwise. *)
+    let count = Array.make 258 0 in
+    count.(0) <- 1;
+    Bytes.iter (fun c -> count.(Char.code c + 1) <- count.(Char.code c + 1) + 1) last_column;
+    let starts = Array.make 258 0 in
+    let acc = ref 0 in
+    for s = 0 to 257 do
+      starts.(s) <- !acc;
+      acc := !acc + count.(s)
+    done;
+    (* LF mapping: for each row (in last-column order including the
+       sentinel row), its position in the first column. Rows of the same
+       symbol keep relative order. *)
+    let rows = n + 1 in
+    let lf = Array.make rows 0 in
+    let next = Array.copy starts in
+    let sym_of_row row =
+      if row = primary then 0
+      else
+        let idx = if row < primary then row else row - 1 in
+        Char.code (Bytes.get last_column idx) + 1
+    in
+    for row = 0 to rows - 1 do
+      let s = sym_of_row row in
+      lf.(row) <- next.(s);
+      next.(s) <- next.(s) + 1
+    done;
+    (* Walk backwards from the sentinel row. Row [primary] holds the
+       sentinel in the last column, i.e. the rotation starting at position
+       0; following LF yields the text right-to-left. *)
+    let out = Bytes.create n in
+    let row = ref primary in
+    for i = n - 1 downto 0 do
+      let s = sym_of_row lf.(!row) in
+      if s = 0 then raise (Codec.Corrupt "bwt: sentinel cycle");
+      Bytes.set out i (Char.chr (s - 1));
+      row := lf.(!row)
+    done;
+    out
+  end

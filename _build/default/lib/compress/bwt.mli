@@ -1,0 +1,27 @@
+(** Burrows–Wheeler transform over sentinel-terminated blocks.
+
+    The forward transform computes the suffix array of [block ^ "$"]
+    (with the sentinel strictly smaller than every byte) by prefix
+    doubling, then reads off the last column. The inverse rebuilds the
+    block with the standard LF-mapping walk. Used by the bzip2-style
+    codec. *)
+
+type transformed = {
+  last_column : bytes;
+      (** the BWT output, [length block] bytes; the sentinel row is not
+          materialized *)
+  primary : int;
+      (** row index at which the sentinel appears in the last column —
+          needed for inversion, stored in each compressed block *)
+}
+
+val forward : bytes -> transformed
+(** [forward block] transforms a block. [block] may be empty. *)
+
+val inverse : transformed -> bytes
+(** [inverse t] recovers the original block. Raises [Codec.Corrupt] if
+    [t.primary] is out of range (corrupt stream). *)
+
+val suffix_array : bytes -> int array
+(** [suffix_array b] is the suffix array of [b ^ "$"] including the
+    sentinel suffix at index 0; exposed for property tests. *)

@@ -1,0 +1,62 @@
+exception Corrupt of string
+
+type t = {
+  name : string;
+  compress : bytes -> bytes;
+  decompress : bytes -> bytes;
+}
+
+let magic = 0x494d4b43 (* "IMKC" *)
+let header_len = 4 + 4 + 8 + 4
+
+let name_hash name = Imk_util.Crc.crc32_string name
+
+let frame ~name ~orig ~payload =
+  let out = Bytes.create (header_len + Bytes.length payload) in
+  Imk_util.Byteio.set_u32 out 0 magic;
+  Imk_util.Byteio.set_u32 out 4 (name_hash name);
+  Imk_util.Byteio.set_addr out 8 (Bytes.length orig);
+  Imk_util.Byteio.set_u32 out 16 (Imk_util.Crc.crc32 orig 0 (Bytes.length orig));
+  Bytes.blit payload 0 out header_len (Bytes.length payload);
+  out
+
+let max_orig_len = 1 lsl 30
+(* kernels are well under 1 GiB; anything larger in a header is corruption
+   and must not drive decoder allocations *)
+
+let unframe ~name b =
+  if Bytes.length b < header_len then raise (Corrupt "frame: truncated header");
+  if Imk_util.Byteio.get_u32 b 0 <> magic then raise (Corrupt "frame: bad magic");
+  if Imk_util.Byteio.get_u32 b 4 <> name_hash name then
+    raise (Corrupt ("frame: payload is not " ^ name));
+  let orig_len =
+    try Imk_util.Byteio.get_addr b 8
+    with Invalid_argument _ -> raise (Corrupt "frame: implausible length")
+  in
+  if orig_len > max_orig_len then raise (Corrupt "frame: implausible length");
+  let crc = Imk_util.Byteio.get_u32 b 16 in
+  (orig_len, crc, Bytes.sub b header_len (Bytes.length b - header_len))
+
+let check_crc ~orig_crc data =
+  if Imk_util.Crc.crc32 data 0 (Bytes.length data) <> orig_crc then
+    raise (Corrupt "frame: CRC mismatch after decompression")
+
+let make ~name ~encode ~decode =
+  let compress input = frame ~name ~orig:input ~payload:(encode input) in
+  let decompress framed =
+    let orig_len, crc, payload = unframe ~name framed in
+    let out =
+      (* malformed payloads surface as low-level exceptions from the
+         bit readers and range coders; all of them mean one thing here *)
+      try decode payload ~orig_len with
+      | Corrupt _ as e -> raise e
+      | Bitio.Reader.Truncated -> raise (Corrupt (name ^ ": truncated bitstream"))
+      | Invalid_argument m -> raise (Corrupt (name ^ ": malformed stream: " ^ m))
+      | Failure m -> raise (Corrupt (name ^ ": malformed stream: " ^ m))
+    in
+    if Bytes.length out <> orig_len then
+      raise (Corrupt "frame: decompressed length mismatch");
+    check_crc ~orig_crc:crc out;
+    out
+  in
+  { name; compress; decompress }

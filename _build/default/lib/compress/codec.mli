@@ -1,0 +1,40 @@
+(** The common compression-codec interface.
+
+    Each codec turns an arbitrary byte string into a self-describing frame
+    and back. The frame carries the codec id, the uncompressed length and
+    a CRC-32 of the original data, so decompression validates integrity —
+    the same job the per-format trailers (gzip CRC, xz check, ...) do for
+    real kernels. Frames are produced by {!frame} and consumed by
+    {!unframe}; the raw codecs under this interface only see payloads.
+
+    The six registered codecs mirror the six kernel compression schemes the
+    paper's Figure 3 compares. Decompression *rates* for the virtual clock
+    live in [Imk_vclock.Cost_model]; this library is pure data
+    transformation. *)
+
+exception Corrupt of string
+(** Raised by [decompress] on malformed or integrity-failing input. *)
+
+type t = {
+  name : string;  (** "none", "lz4", "lzo", "gzip", "bzip2", "xz", "lzma" *)
+  compress : bytes -> bytes;
+  decompress : bytes -> bytes;
+}
+
+val frame : name:string -> orig:bytes -> payload:bytes -> bytes
+(** [frame ~name ~orig ~payload] wraps [payload] with the standard header:
+    magic, codec-name hash, original length, CRC-32 of [orig]. *)
+
+val unframe : name:string -> bytes -> int * int * bytes
+(** [unframe ~name b] validates the header and returns
+    [(orig_len, crc, payload)]. Raises {!Corrupt} on bad magic, codec
+    mismatch or truncation. *)
+
+val check_crc : orig_crc:int -> bytes -> unit
+(** [check_crc ~orig_crc data] raises {!Corrupt} if the CRC-32 of [data]
+    differs from [orig_crc]. *)
+
+val make : name:string -> encode:(bytes -> bytes) -> decode:(bytes -> orig_len:int -> bytes) -> t
+(** [make ~name ~encode ~decode] lifts a raw payload codec into the framed
+    interface, adding header handling and the CRC check. [decode] receives
+    the expected output length from the frame so codecs can preallocate. *)

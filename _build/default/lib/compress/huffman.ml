@@ -1,0 +1,179 @@
+(* Build raw Huffman code lengths with a pairing of the two least frequent
+   subtrees, then canonicalize. A simple array-based priority selection is
+   enough: alphabets here are at most a few hundred symbols. *)
+
+let raw_lengths freqs =
+  let n = Array.length freqs in
+  let lens = Array.make n 0 in
+  let live =
+    Array.to_list
+      (Array.of_seq
+         (Seq.filter_map
+            (fun i -> if freqs.(i) > 0 then Some i else None)
+            (Seq.init n (fun i -> i))))
+  in
+  match live with
+  | [] -> lens
+  | [ only ] ->
+      lens.(only) <- 1;
+      lens
+  | _ ->
+      (* nodes: (freq, members) where members lists leaf symbols; merging
+         two nodes deepens every member by one. *)
+      let nodes = ref (List.map (fun i -> (freqs.(i), [ i ])) live) in
+      let pop_min () =
+        match !nodes with
+        | [] -> assert false
+        | first :: _ ->
+            let best =
+              List.fold_left
+                (fun acc node -> if fst node < fst acc then node else acc)
+                first !nodes
+            in
+            (* remove one occurrence (physical equality) *)
+            let removed = ref false in
+            nodes :=
+              List.filter
+                (fun node ->
+                  if (not !removed) && node == best then begin
+                    removed := true;
+                    false
+                  end
+                  else true)
+                !nodes;
+            best
+      in
+      while List.length !nodes > 1 do
+        let f1, m1 = pop_min () in
+        let f2, m2 = pop_min () in
+        List.iter (fun i -> lens.(i) <- lens.(i) + 1) m1;
+        List.iter (fun i -> lens.(i) <- lens.(i) + 1) m2;
+        nodes := (f1 + f2, m1 @ m2) :: !nodes
+      done;
+      lens
+
+let kraft_sum lens =
+  Array.fold_left
+    (fun acc l -> if l > 0 then acc +. (1. /. float_of_int (1 lsl l)) else acc)
+    0. lens
+
+let kraft_sum_valid lens = kraft_sum lens <= 1. +. 1e-9
+
+let lengths_of_freqs ?(max_len = 15) freqs =
+  let lens = raw_lengths freqs in
+  let too_deep = Array.exists (fun l -> l > max_len) lens in
+  if not too_deep then lens
+  else begin
+    (* Clamp and repair the Kraft inequality by demoting the deepest
+       still-shortenable codes — the standard zlib-style fixup. *)
+    Array.iteri (fun i l -> if l > max_len then lens.(i) <- max_len) lens;
+    let over () = kraft_sum lens > 1. +. 1e-12 in
+    while over () do
+      (* lengthen the symbol with the smallest length < max_len; this
+         frees the most code space per step *)
+      let best = ref (-1) in
+      Array.iteri
+        (fun i l ->
+          if l > 0 && l < max_len && (!best = -1 || l < lens.(!best)) then
+            best := i)
+        lens;
+      if !best = -1 then invalid_arg "Huffman: cannot satisfy max_len";
+      lens.(!best) <- lens.(!best) + 1
+    done;
+    lens
+  end
+
+(* Canonical code assignment shared by encoder and decoder. *)
+let canonical_codes lens =
+  let max_len = Array.fold_left max 0 lens in
+  let count = Array.make (max_len + 1) 0 in
+  Array.iter (fun l -> if l > 0 then count.(l) <- count.(l) + 1) lens;
+  let next = Array.make (max_len + 2) 0 in
+  let code = ref 0 in
+  for l = 1 to max_len do
+    code := (!code + count.(l - 1)) lsl 1;
+    next.(l) <- !code
+  done;
+  let codes = Array.make (Array.length lens) 0 in
+  for i = 0 to Array.length lens - 1 do
+    let l = lens.(i) in
+    if l > 0 then begin
+      codes.(i) <- next.(l);
+      next.(l) <- next.(l) + 1
+    end
+  done;
+  (codes, max_len)
+
+type encoder = { e_lens : int array; e_codes : int array }
+
+let encoder_of_lengths lens =
+  let codes, _ = canonical_codes lens in
+  { e_lens = Array.copy lens; e_codes = codes }
+
+let encode enc w sym =
+  let len = enc.e_lens.(sym) in
+  if len = 0 then invalid_arg "Huffman.encode: symbol has no code";
+  Bitio.Writer.put_code w ~code:enc.e_codes.(sym) ~len
+
+type decoder = {
+  d_max_len : int;
+  d_first_code : int array;  (** smallest code of each length *)
+  d_first_index : int array;  (** index into [d_symbols] for that code *)
+  d_count : int array;
+  d_symbols : int array;  (** symbols sorted by (length, symbol) *)
+}
+
+let decoder_of_lengths lens =
+  if not (kraft_sum_valid lens) then
+    raise (Codec.Corrupt "huffman: over-subscribed code lengths");
+  let codes, max_len = canonical_codes lens in
+  ignore codes;
+  let count = Array.make (max_len + 1) 0 in
+  Array.iter (fun l -> if l > 0 then count.(l) <- count.(l) + 1) lens;
+  let symbols =
+    let syms = ref [] in
+    for i = Array.length lens - 1 downto 0 do
+      if lens.(i) > 0 then syms := i :: !syms
+    done;
+    let arr = Array.of_list !syms in
+    Array.sort (fun a b -> compare (lens.(a), a) (lens.(b), b)) arr;
+    arr
+  in
+  let first_code = Array.make (max_len + 1) 0 in
+  let first_index = Array.make (max_len + 1) 0 in
+  let code = ref 0 and index = ref 0 in
+  for l = 1 to max_len do
+    code := (!code + if l = 1 then 0 else count.(l - 1)) lsl 1;
+    first_code.(l) <- !code;
+    first_index.(l) <- !index;
+    index := !index + count.(l)
+  done;
+  {
+    d_max_len = max_len;
+    d_first_code = first_code;
+    d_first_index = first_index;
+    d_count = count;
+    d_symbols = symbols;
+  }
+
+let decode dec r =
+  let code = ref 0 and len = ref 0 in
+  let result = ref (-1) in
+  while !result < 0 do
+    code := (!code lsl 1) lor Bitio.Reader.get_bit r;
+    incr len;
+    if !len > dec.d_max_len then raise (Codec.Corrupt "huffman: invalid code");
+    let offset = !code - dec.d_first_code.(!len) in
+    if offset >= 0 && offset < dec.d_count.(!len) then
+      result := dec.d_symbols.(dec.d_first_index.(!len) + offset)
+  done;
+  !result
+
+let write_lengths w lens =
+  Array.iter
+    (fun l ->
+      if l > 15 then invalid_arg "Huffman.write_lengths: length > 15";
+      Bitio.Writer.put_bits w l 4)
+    lens
+
+let read_lengths r n = Array.init n (fun _ -> Bitio.Reader.get_bits r 4)

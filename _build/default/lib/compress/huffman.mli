@@ -1,0 +1,45 @@
+(** Canonical Huffman coding.
+
+    Shared by the gzip-style and bzip2-style codecs. Codes are canonical:
+    only the per-symbol code *lengths* are stored in compressed streams,
+    and both sides rebuild identical codebooks from them, exactly as
+    DEFLATE and bzip2 do. *)
+
+val lengths_of_freqs : ?max_len:int -> int array -> int array
+(** [lengths_of_freqs ?max_len freqs] computes code lengths for each
+    symbol from its frequency. Symbols with zero frequency get length 0
+    (no code). Lengths are limited to [max_len] (default 15) with a
+    Kraft-sum repair pass when the raw Huffman tree is deeper. If exactly
+    one symbol occurs it receives length 1. *)
+
+val kraft_sum_valid : int array -> bool
+(** [kraft_sum_valid lens] checks Σ 2^(-len) ≤ 1 over nonzero lengths —
+    the decodability invariant the property tests assert. *)
+
+type encoder
+
+val encoder_of_lengths : int array -> encoder
+(** [encoder_of_lengths lens] assigns canonical codes (shorter codes
+    first, ties broken by symbol index). *)
+
+val encode : encoder -> Bitio.Writer.t -> int -> unit
+(** [encode enc w sym] writes [sym]'s code. Raises [Invalid_argument] if
+    [sym] has no code (length 0). *)
+
+type decoder
+
+val decoder_of_lengths : int array -> decoder
+(** [decoder_of_lengths lens] builds the canonical decoder for the same
+    lengths. Raises [Codec.Corrupt] if the lengths are not decodable
+    (Kraft sum > 1). *)
+
+val decode : decoder -> Bitio.Reader.t -> int
+(** [decode dec r] reads one symbol. Raises [Codec.Corrupt] on a code that
+    matches no symbol. *)
+
+val write_lengths : Bitio.Writer.t -> int array -> unit
+(** [write_lengths w lens] stores a length table as 4-bit nibbles —
+    the simple table header both codecs here use. *)
+
+val read_lengths : Bitio.Reader.t -> int -> int array
+(** [read_lengths r n] reads back [n] nibble lengths. *)

@@ -1,0 +1,17 @@
+(** LZ4-style codec: byte-aligned LZ77 with token-packed sequences.
+
+    The format follows the real LZ4 block layout — a token byte holding
+    4-bit literal-run and match-length fields (15 escaping to 255-run
+    extension bytes), the literal bytes, then a 2-byte little-endian match
+    distance — which is what makes the decoder a short branch-light copy
+    loop and LZ4 the fastest scheme to boot from (paper Figure 3). *)
+
+val codec : Codec.t
+
+val encode_payload : bytes -> bytes
+(** [encode_payload input] is the raw block encoding without the standard
+    frame; exposed for the format-level unit tests. *)
+
+val decode_payload : bytes -> orig_len:int -> bytes
+(** [decode_payload b ~orig_len] inverts {!encode_payload}. Raises
+    [Codec.Corrupt] on malformed input. *)

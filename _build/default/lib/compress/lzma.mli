@@ -1,0 +1,13 @@
+(** LZMA-style codec: large-window LZ77 + adaptive range coding.
+
+    A 1 MiB-window, deep-chain LZ77 parse is entropy-coded with the
+    adaptive binary models of real LZMA: a match/literal switch
+    conditioned on the previous decision, literal bit-trees conditioned on
+    the previous byte's high bits (lc = 3), a two-tier length coder, and a
+    distance-slot tree followed by direct bits. Best ratio of the suite
+    and the slowest — the xz/lzma end of the paper's Figure 3 spectrum. *)
+
+val codec : Codec.t
+
+val encode_payload : bytes -> bytes
+val decode_payload : bytes -> orig_len:int -> bytes

@@ -1,0 +1,28 @@
+let fresh_table () = Array.init 256 (fun i -> i)
+
+let move_to_front table idx =
+  let v = table.(idx) in
+  Array.blit table 0 table 1 idx;
+  table.(0) <- v;
+  v
+
+let encode b =
+  let table = fresh_table () in
+  Array.init (Bytes.length b) (fun i ->
+      let c = Char.code (Bytes.get b i) in
+      (* find current index of c *)
+      let rec find j = if table.(j) = c then j else find (j + 1) in
+      let idx = find 0 in
+      ignore (move_to_front table idx);
+      idx)
+
+let decode xs =
+  let table = fresh_table () in
+  let out = Bytes.create (Array.length xs) in
+  Array.iteri
+    (fun i idx ->
+      if idx < 0 || idx > 255 then raise (Codec.Corrupt "mtf: index out of range");
+      let v = move_to_front table idx in
+      Bytes.set out i (Char.chr v))
+    xs;
+  out

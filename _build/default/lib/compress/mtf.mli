@@ -1,0 +1,10 @@
+(** Move-to-front transform, the locality-to-skew stage of bzip2. *)
+
+val encode : bytes -> int array
+(** [encode b] maps each byte to its current index in a 256-entry
+    recency list, moving it to the front. BWT output full of runs becomes
+    mostly zeros. *)
+
+val decode : int array -> bytes
+(** [decode xs] inverts {!encode}. Raises [Codec.Corrupt] if any value is
+    outside [0, 255]. *)

@@ -1,0 +1,47 @@
+(** Binary adaptive range coder, LZMA-style.
+
+    Probabilities are 11-bit adaptive counters (initialised to 1/2,
+    updated with shift 5), and the coder is the standard carry-counting
+    32-bit range coder used by LZMA: the encoder tracks a cache byte and a
+    run of pending 0xFF bytes; the decoder primes itself with five bytes
+    (the first is a zero pad). Bit-tree helpers cover the fixed-width
+    fields the LZMA models use. *)
+
+type prob = int array
+(** A table of adaptive probability counters. *)
+
+val make_probs : int -> prob
+(** [make_probs n] is [n] counters initialised to probability 1/2. *)
+
+module Encoder : sig
+  type t
+
+  val create : unit -> t
+
+  val encode_bit : t -> prob -> int -> int -> unit
+  (** [encode_bit e probs idx bit] encodes [bit] with counter
+      [probs.(idx)], adapting it. *)
+
+  val encode_direct : t -> int -> int -> unit
+  (** [encode_direct e v n] encodes the low [n] bits of [v] at fixed
+      probability 1/2 (LZMA "direct bits"), MSB first. *)
+
+  val encode_tree : t -> prob -> int -> int -> unit
+  (** [encode_tree e probs v n] encodes [v] (an [n]-bit value) through a
+      bit tree of [2^n] counters, MSB first. *)
+
+  val finish : t -> bytes
+  (** [finish e] flushes the coder and returns the stream. *)
+end
+
+module Decoder : sig
+  type t
+
+  val create : bytes -> pos:int -> t
+  (** [create b ~pos] primes the decoder from [b] starting at [pos].
+      Raises [Codec.Corrupt] if fewer than five bytes remain. *)
+
+  val decode_bit : t -> prob -> int -> int
+  val decode_direct : t -> int -> int
+  val decode_tree : t -> prob -> int -> int
+end

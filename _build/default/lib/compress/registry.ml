@@ -1,0 +1,9 @@
+let bakeoff_codecs =
+  [ Gzip.codec; Bzip2.codec; Lzma.codec; Xz.codec; Lzo.codec; Lz4.codec ]
+
+let all = Store.codec :: bakeoff_codecs
+
+let find_opt name = List.find_opt (fun c -> c.Codec.name = name) all
+
+let find name =
+  match find_opt name with Some c -> c | None -> raise Not_found

@@ -1,0 +1,18 @@
+(** Codec registry.
+
+    The kernel build and the experiment harness select codecs by name;
+    [bakeoff_codecs] is the set of six compressed schemes compared in the
+    paper's Figure 3, and [all] additionally includes "none". *)
+
+val all : Codec.t list
+(** Every codec, "none" first. *)
+
+val bakeoff_codecs : Codec.t list
+(** The six real compression schemes: gzip, bzip2, lzma, xz, lzo, lz4 —
+    in the paper's presentation order. *)
+
+val find : string -> Codec.t
+(** [find name] looks a codec up by name. Raises [Not_found] for unknown
+    names. *)
+
+val find_opt : string -> Codec.t option

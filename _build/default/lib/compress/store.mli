@@ -1,0 +1,7 @@
+(** The "none" codec: stores the payload verbatim.
+
+    Matches the paper's compression-none kernels (§3.3), where the
+    "compressed" blob inside the bzImage is the kernel itself; the framed
+    CRC still validates integrity. *)
+
+val codec : Codec.t

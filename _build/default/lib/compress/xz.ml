@@ -1,0 +1,21 @@
+let stream_flags = 0x01 (* check type: CRC32 *)
+
+let encode_payload input =
+  let inner = Lzma.encode_payload input in
+  let out = Bytes.create (1 + 4 + Bytes.length inner) in
+  Imk_util.Byteio.set_u8 out 0 stream_flags;
+  Imk_util.Byteio.set_u32 out 1 (Imk_util.Crc.crc32 inner 0 (Bytes.length inner));
+  Bytes.blit inner 0 out 5 (Bytes.length inner);
+  out
+
+let decode_payload b ~orig_len =
+  if Bytes.length b < 5 then raise (Codec.Corrupt "xz: truncated container");
+  if Imk_util.Byteio.get_u8 b 0 <> stream_flags then
+    raise (Codec.Corrupt "xz: unsupported stream flags");
+  let crc = Imk_util.Byteio.get_u32 b 1 in
+  let inner = Bytes.sub b 5 (Bytes.length b - 5) in
+  if Imk_util.Crc.crc32 inner 0 (Bytes.length inner) <> crc then
+    raise (Codec.Corrupt "xz: compressed payload CRC mismatch");
+  Lzma.decode_payload inner ~orig_len
+
+let codec = Codec.make ~name:"xz" ~encode:encode_payload ~decode:decode_payload

@@ -1,0 +1,1 @@
+lib/elf/builder.ml: Array Bytes Hashtbl Layout List Types

@@ -1,0 +1,1 @@
+lib/elf/layout.ml: Array List Option Types

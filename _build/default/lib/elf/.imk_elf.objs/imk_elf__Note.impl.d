@@ -1,0 +1,1 @@
+lib/elf/note.ml: Byteio Bytes Imk_util String

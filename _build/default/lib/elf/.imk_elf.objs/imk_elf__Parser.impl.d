@@ -1,0 +1,1 @@
+lib/elf/parser.ml: Array Byteio Bytes Hashtbl Imk_util List Types

@@ -1,0 +1,1 @@
+lib/elf/parser.mli: Types

@@ -1,0 +1,1 @@
+lib/elf/relocation.ml: Array Bytes Imk_util

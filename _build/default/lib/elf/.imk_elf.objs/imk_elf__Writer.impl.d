@@ -1,0 +1,1 @@
+lib/elf/writer.ml: Array Buffer Byteio Bytes Hashtbl Imk_util Layout List Types

@@ -1,0 +1,94 @@
+type t = {
+  mutable sections : Types.section list; (* reversed *)
+  mutable symbols : Types.symbol list; (* reversed *)
+  mutable entry : int;
+  mutable finalized : bool;
+  section_index : (string, int) Hashtbl.t;
+  mutable nsections : int;
+}
+
+let create () =
+  {
+    sections = [];
+    symbols = [];
+    entry = 0;
+    finalized = false;
+    section_index = Hashtbl.create 64;
+    nsections = 0;
+  }
+
+let add_section t ~name ~sh_type ~flags ~addr ?(addralign = 16) ?(entsize = 0)
+    ?mem_size data =
+  if t.finalized then invalid_arg "Elf.Builder: already finalized";
+  if Hashtbl.mem t.section_index name then
+    invalid_arg ("Elf.Builder: duplicate section " ^ name);
+  let size =
+    match mem_size with
+    | Some s ->
+        if sh_type <> Types.sht_nobits then
+          invalid_arg "Elf.Builder: mem_size only valid for SHT_NOBITS";
+        if Bytes.length data <> 0 then
+          invalid_arg "Elf.Builder: NOBITS sections carry no data";
+        s
+    | None -> Bytes.length data
+  in
+  let s =
+    {
+      Types.name;
+      sh_type;
+      flags;
+      addr;
+      offset = 0;
+      size;
+      addralign;
+      entsize;
+      data;
+    }
+  in
+  Hashtbl.add t.section_index name t.nsections;
+  t.nsections <- t.nsections + 1;
+  t.sections <- s :: t.sections
+
+let add_symbol t ~name ~value ~size ~sym_type ~section =
+  match Hashtbl.find_opt t.section_index section with
+  | None -> invalid_arg ("Elf.Builder: unknown section " ^ section)
+  | Some shndx ->
+      t.symbols <-
+        { Types.sym_name = name; value; sym_size = size; sym_type; shndx }
+        :: t.symbols
+
+let set_entry t e = t.entry <- e
+
+let finalize t ~phys_of_vaddr =
+  if t.finalized then invalid_arg "Elf.Builder: already finalized";
+  t.finalized <- true;
+  let sections = Array.of_list (List.rev t.sections) in
+  (* check allocatable vaddr monotonicity before deriving segments *)
+  let prev = ref (-1) in
+  Array.iter
+    (fun (s : Types.section) ->
+      if s.flags land Types.shf_alloc <> 0 then begin
+        if s.addr < !prev then
+          invalid_arg
+            ("Elf.Builder: allocatable sections out of address order at " ^ s.name);
+        prev := s.addr + s.size
+      end)
+    sections;
+  (* provisional segment count to place data after the program headers:
+     derive twice, first with a generous guess *)
+  let guess_segments =
+    Layout.load_segments_of_sections sections ~phys_of_vaddr
+  in
+  let phnum = List.length guess_segments in
+  let sections =
+    Layout.assign_offsets ~first_offset:(Layout.header_end ~phnum) sections
+  in
+  let segments =
+    Array.of_list (Layout.load_segments_of_sections sections ~phys_of_vaddr)
+  in
+  {
+    Types.entry = t.entry;
+    sections;
+    segments;
+    symbols = Array.of_list (List.rev t.symbols);
+  }

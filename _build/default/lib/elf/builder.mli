@@ -1,0 +1,41 @@
+(** High-level ELF image assembly.
+
+    Accumulates sections and symbols, then lays the file out: section
+    offsets assigned after the headers, PT_LOAD segments derived from
+    allocatable-section runs. The kernel image builder and the tests both
+    assemble images through this interface instead of hand-computing
+    offsets. *)
+
+type t
+
+val create : unit -> t
+
+val add_section :
+  t ->
+  name:string ->
+  sh_type:int ->
+  flags:int ->
+  addr:int ->
+  ?addralign:int ->
+  ?entsize:int ->
+  ?mem_size:int ->
+  bytes ->
+  unit
+(** [add_section t ~name ~sh_type ~flags ~addr data] appends a section.
+    [addralign] defaults to 16. [mem_size] overrides the in-memory size
+    for SHT_NOBITS sections (where [data] must be empty). Sections must be
+    added in ascending [addr] order for allocatable sections; violations
+    surface at {!finalize}. *)
+
+val add_symbol :
+  t -> name:string -> value:int -> size:int -> sym_type:int -> section:string -> unit
+(** [add_symbol t ~name ~value ~size ~sym_type ~section] appends a symbol
+    attached to the named section (which must already exist; raises
+    [Invalid_argument] otherwise). *)
+
+val set_entry : t -> int -> unit
+
+val finalize : t -> phys_of_vaddr:(int -> int) -> Types.t
+(** [finalize t ~phys_of_vaddr] assigns file offsets, derives PT_LOAD
+    segments (physical addresses via [phys_of_vaddr]) and returns the
+    completed image description. The builder may not be reused after. *)

@@ -1,0 +1,78 @@
+let align_up v a =
+  if a <= 0 then invalid_arg "Layout.align_up: non-positive alignment";
+  (v + a - 1) / a * a
+
+let assign_offsets ~first_offset sections =
+  let pos = ref first_offset in
+  Array.map
+    (fun (s : Types.section) ->
+      let align = max 1 s.addralign in
+      let off = align_up !pos align in
+      if s.sh_type <> Types.sht_nobits then pos := off + s.size;
+      { s with offset = off })
+    sections
+
+let header_end ~phnum = Types.ehdr_size + (phnum * Types.phdr_size)
+
+let file_end sections =
+  Array.fold_left
+    (fun acc (s : Types.section) ->
+      if s.sh_type = Types.sht_nobits then acc else max acc (s.offset + s.size))
+    0 sections
+
+let flags_of_section (s : Types.section) =
+  let f = ref Types.pf_r in
+  if s.flags land Types.shf_write <> 0 then f := !f lor Types.pf_w;
+  if s.flags land Types.shf_execinstr <> 0 then f := !f lor Types.pf_x;
+  !f
+
+let load_segments_of_sections sections ~phys_of_vaddr =
+  let allocs =
+    Array.to_list sections
+    |> List.filter (fun (s : Types.section) -> s.flags land Types.shf_alloc <> 0)
+  in
+  let page = 4096 in
+  let close_run run =
+    match run with
+    | [] -> None
+    | first :: _ ->
+        let last = List.nth run (List.length run - 1) in
+        let first : Types.section = first and last : Types.section = last in
+        let file_extent =
+          List.fold_left
+            (fun acc (s : Types.section) ->
+              if s.sh_type = Types.sht_nobits then acc
+              else max acc (s.offset + s.size))
+            first.offset run
+        in
+        Some
+          {
+            Types.p_type = Types.pt_load;
+            p_flags = flags_of_section first;
+            p_offset = first.offset;
+            p_vaddr = first.addr;
+            p_paddr = phys_of_vaddr first.addr;
+            p_filesz = file_extent - first.offset;
+            p_memsz = last.addr + last.size - first.addr;
+            p_align = page;
+          }
+  in
+  let rec group acc run = function
+    | [] -> List.rev (Option.to_list (close_run (List.rev run)) @ acc)
+    | s :: rest -> (
+        match run with
+        | [] -> group acc [ s ] rest
+        | prev :: _ ->
+            let prev : Types.section = prev in
+            let contiguous =
+              s.Types.addr >= prev.addr + prev.size
+              && s.Types.addr <= align_up (prev.addr + prev.size) page
+            in
+            let same_flags = flags_of_section s = flags_of_section prev in
+            (* NOBITS must terminate a run: file bytes stop there *)
+            let prev_nobits = prev.sh_type = Types.sht_nobits in
+            if contiguous && same_flags && not prev_nobits then
+              group acc (s :: run) rest
+            else group (Option.to_list (close_run (List.rev run)) @ acc) [ s ] rest)
+  in
+  group [] [] allocs

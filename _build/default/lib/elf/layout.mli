@@ -1,0 +1,30 @@
+(** File-offset layout for ELF images.
+
+    The kernel builder places section data sequentially after the ELF and
+    program headers, honouring each section's alignment; segments are then
+    derived from contiguous runs of allocatable sections. *)
+
+val align_up : int -> int -> int
+(** [align_up v a] rounds [v] up to a multiple of [a] ([a] ≥ 1, a power of
+    two is not required). Raises [Invalid_argument] if [a <= 0]. *)
+
+val assign_offsets : first_offset:int -> Types.section array -> Types.section array
+(** [assign_offsets ~first_offset sections] returns the sections with
+    [offset] fields assigned sequentially from [first_offset], each
+    aligned to its [addralign] (at least 1). NOBITS sections receive the
+    running offset but consume no file space. Order is preserved. *)
+
+val header_end : phnum:int -> int
+(** [header_end ~phnum] is the file offset just past the ELF header and
+    [phnum] program headers — the earliest legal section offset. *)
+
+val file_end : Types.section array -> int
+(** [file_end sections] is the offset just past the last byte of section
+    data (NOBITS sections contribute nothing). *)
+
+val load_segments_of_sections : Types.section array -> phys_of_vaddr:(int -> int) -> Types.segment list
+(** [load_segments_of_sections sections ~phys_of_vaddr] builds one PT_LOAD
+    per allocatable section run with uniform flags, mapping each segment's
+    virtual address to its physical address with [phys_of_vaddr]. Runs
+    break when flags change or when addresses are not contiguous (allowing
+    for alignment padding up to one page). *)

@@ -1,0 +1,59 @@
+open Imk_util
+
+type t = { owner : string; note_type : int; desc : bytes }
+
+let align4 n = (n + 3) land lnot 3
+
+let encode t =
+  let namesz = String.length t.owner + 1 in
+  let descsz = Bytes.length t.desc in
+  let total = 12 + align4 namesz + align4 descsz in
+  let out = Bytes.make total '\000' in
+  Byteio.set_u32 out 0 namesz;
+  Byteio.set_u32 out 4 descsz;
+  Byteio.set_u32 out 8 t.note_type;
+  Byteio.blit_string t.owner out 12;
+  Bytes.blit t.desc 0 out (12 + align4 namesz) descsz;
+  out
+
+let decode b =
+  if Bytes.length b < 12 then invalid_arg "Elf.Note.decode: truncated header";
+  let namesz = Byteio.get_u32 b 0 in
+  let descsz = Byteio.get_u32 b 4 in
+  let note_type = Byteio.get_u32 b 8 in
+  if namesz < 1 || 12 + align4 namesz + align4 descsz > Bytes.length b then
+    invalid_arg "Elf.Note.decode: inconsistent sizes";
+  let owner = Bytes.sub_string b 12 (namesz - 1) in
+  let desc = Bytes.sub b (12 + align4 namesz) descsz in
+  { owner; note_type; desc }
+
+let kaslr_owner = "IMK-KASLR"
+let kaslr_note_type = 0x4b41 (* "KA" *)
+let section_name = ".note.kaslr"
+
+type kaslr_constants = {
+  phys_start : int;
+  phys_align : int;
+  kmap_base : int;
+  image_size_max : int;
+}
+
+let encode_kaslr c =
+  let desc = Bytes.create 32 in
+  Byteio.set_addr desc 0 c.phys_start;
+  Byteio.set_addr desc 8 c.phys_align;
+  Byteio.set_addr desc 16 c.kmap_base;
+  Byteio.set_addr desc 24 c.image_size_max;
+  { owner = kaslr_owner; note_type = kaslr_note_type; desc }
+
+let decode_kaslr t =
+  if t.owner <> kaslr_owner || t.note_type <> kaslr_note_type then
+    invalid_arg "Elf.Note.decode_kaslr: not a KASLR-constants note";
+  if Bytes.length t.desc <> 32 then
+    invalid_arg "Elf.Note.decode_kaslr: bad descriptor size";
+  {
+    phys_start = Byteio.get_addr t.desc 0;
+    phys_align = Byteio.get_addr t.desc 8;
+    kmap_base = Byteio.get_addr t.desc 16;
+    image_size_max = Byteio.get_addr t.desc 24;
+  }

@@ -1,0 +1,22 @@
+(** ELF64 parsing.
+
+    Inverts {!Writer.write}: reads the header, program headers, section
+    headers, section data and the symbol table, returning the same
+    {!Types.t} the writer consumed (the NULL section and the three
+    generated table sections are stripped). Both the monitor and the
+    bootstrap loader use this to load kernels, so malformed input must
+    fail with a typed error rather than produce a half-loaded kernel. *)
+
+exception Malformed of string
+(** Raised on any structural problem: bad magic, wrong class, truncated
+    tables, out-of-range offsets. *)
+
+val parse : bytes -> Types.t
+(** [parse b] parses a full ELF image. *)
+
+val entry_point : bytes -> int
+(** [entry_point b] reads just [e_entry] — what a boot protocol needs
+    before committing to a full parse. *)
+
+val is_elf : bytes -> bool
+(** [is_elf b] checks the magic without raising. *)

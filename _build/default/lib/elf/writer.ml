@@ -1,0 +1,152 @@
+open Imk_util
+
+(* string table: NUL-separated names, first byte NUL; offsets by name *)
+let build_strtab names =
+  let buf = Buffer.create 256 in
+  Buffer.add_char buf '\000';
+  let offsets = Hashtbl.create (List.length names * 2) in
+  List.iter
+    (fun name ->
+      if not (Hashtbl.mem offsets name) then begin
+        Hashtbl.add offsets name (Buffer.length buf);
+        Buffer.add_string buf name;
+        Buffer.add_char buf '\000'
+      end)
+    names;
+  (Buffer.to_bytes buf, offsets)
+
+let validate (t : Types.t) =
+  let hdr_end = Layout.header_end ~phnum:(Array.length t.segments) in
+  (* collect (offset, size) of real data sections, check ordering *)
+  let spans =
+    Array.to_list t.sections
+    |> List.filter (fun (s : Types.section) -> s.sh_type <> Types.sht_nobits)
+    |> List.map (fun (s : Types.section) -> (s.offset, s.size, s.name))
+    |> List.sort compare
+  in
+  let rec check prev_end = function
+    | [] -> ()
+    | (off, size, name) :: rest ->
+        if off < hdr_end then
+          invalid_arg ("Elf.Writer: section overlaps headers: " ^ name);
+        if off < prev_end then
+          invalid_arg ("Elf.Writer: overlapping section data: " ^ name);
+        check (off + size) rest
+  in
+  check hdr_end spans
+
+let write (t : Types.t) =
+  validate t;
+  let nuser = Array.length t.sections in
+  let phnum = Array.length t.segments in
+  (* section header order: NULL, user sections, .symtab, .strtab, .shstrtab *)
+  let symtab_ndx = nuser + 1 in
+  let strtab_ndx = nuser + 2 in
+  let shstr_ndx = nuser + 3 in
+  let shnum = nuser + 4 in
+  (* encode symbols *)
+  let strtab, sym_offsets =
+    build_strtab (Array.to_list (Array.map (fun s -> s.Types.sym_name) t.symbols))
+  in
+  let symtab = Bytes.make ((Array.length t.symbols + 1) * Types.sym_size) '\000' in
+  Array.iteri
+    (fun i (sym : Types.symbol) ->
+      let base = (i + 1) * Types.sym_size in
+      let name_off = Hashtbl.find sym_offsets sym.sym_name in
+      Byteio.set_u32 symtab base name_off;
+      Byteio.set_u8 symtab (base + 4) sym.sym_type;
+      Byteio.set_u8 symtab (base + 5) 0;
+      let st_shndx = if sym.shndx < 0 then 0xfff1 (* SHN_ABS *) else sym.shndx + 1 in
+      Byteio.set_u16 symtab (base + 6) st_shndx;
+      Byteio.set_addr symtab (base + 8) sym.value;
+      Byteio.set_addr symtab (base + 16) sym.sym_size)
+    t.symbols;
+  let shstrtab, shname_offsets =
+    let user_names = Array.to_list (Array.map (fun s -> s.Types.name) t.sections) in
+    build_strtab (user_names @ [ ".symtab"; ".strtab"; ".shstrtab" ])
+  in
+  (* place the tables after all section data *)
+  let data_end = max (Layout.file_end t.sections) (Layout.header_end ~phnum) in
+  let symtab_off = Layout.align_up data_end 8 in
+  let strtab_off = symtab_off + Bytes.length symtab in
+  let shstr_off = strtab_off + Bytes.length strtab in
+  let shoff = Layout.align_up (shstr_off + Bytes.length shstrtab) 8 in
+  let total = shoff + (shnum * Types.shdr_size) in
+  let out = Bytes.make total '\000' in
+  (* ELF header *)
+  Byteio.blit_string Types.elf_magic out 0;
+  Byteio.set_u8 out 4 Types.elfclass64;
+  Byteio.set_u8 out 5 Types.elfdata2lsb;
+  Byteio.set_u8 out 6 1 (* EV_CURRENT *);
+  Byteio.set_u16 out 16 Types.et_exec;
+  Byteio.set_u16 out 18 Types.em_x86_64;
+  Byteio.set_u32 out 20 1;
+  Byteio.set_addr out 24 t.entry;
+  Byteio.set_addr out 32 (if phnum = 0 then 0 else Types.ehdr_size);
+  Byteio.set_addr out 40 shoff;
+  Byteio.set_u32 out 48 0 (* e_flags *);
+  Byteio.set_u16 out 52 Types.ehdr_size;
+  Byteio.set_u16 out 54 Types.phdr_size;
+  Byteio.set_u16 out 56 phnum;
+  Byteio.set_u16 out 58 Types.shdr_size;
+  Byteio.set_u16 out 60 shnum;
+  Byteio.set_u16 out 62 shstr_ndx;
+  (* program headers *)
+  Array.iteri
+    (fun i (p : Types.segment) ->
+      let base = Types.ehdr_size + (i * Types.phdr_size) in
+      Byteio.set_u32 out base p.p_type;
+      Byteio.set_u32 out (base + 4) p.p_flags;
+      Byteio.set_addr out (base + 8) p.p_offset;
+      Byteio.set_addr out (base + 16) p.p_vaddr;
+      Byteio.set_addr out (base + 24) p.p_paddr;
+      Byteio.set_addr out (base + 32) p.p_filesz;
+      Byteio.set_addr out (base + 40) p.p_memsz;
+      Byteio.set_addr out (base + 48) p.p_align)
+    t.segments;
+  (* section data *)
+  Array.iter
+    (fun (s : Types.section) ->
+      if s.sh_type <> Types.sht_nobits then
+        Bytes.blit s.data 0 out s.offset (Bytes.length s.data))
+    t.sections;
+  Bytes.blit symtab 0 out symtab_off (Bytes.length symtab);
+  Bytes.blit strtab 0 out strtab_off (Bytes.length strtab);
+  Bytes.blit shstrtab 0 out shstr_off (Bytes.length shstrtab);
+  (* section headers *)
+  let write_shdr ndx ~name_off ~sh_type ~flags ~addr ~offset ~size ~link ~info
+      ~addralign ~entsize =
+    let base = shoff + (ndx * Types.shdr_size) in
+    Byteio.set_u32 out base name_off;
+    Byteio.set_u32 out (base + 4) sh_type;
+    Byteio.set_addr out (base + 8) flags;
+    Byteio.set_addr out (base + 16) addr;
+    Byteio.set_addr out (base + 24) offset;
+    Byteio.set_addr out (base + 32) size;
+    Byteio.set_u32 out (base + 40) link;
+    Byteio.set_u32 out (base + 44) info;
+    Byteio.set_addr out (base + 48) addralign;
+    Byteio.set_addr out (base + 56) entsize
+  in
+  (* index 0: NULL (already zero) *)
+  Array.iteri
+    (fun i (s : Types.section) ->
+      write_shdr (i + 1)
+        ~name_off:(Hashtbl.find shname_offsets s.name)
+        ~sh_type:s.sh_type ~flags:s.flags ~addr:s.addr ~offset:s.offset
+        ~size:s.size ~link:0 ~info:0 ~addralign:s.addralign ~entsize:s.entsize)
+    t.sections;
+  write_shdr symtab_ndx
+    ~name_off:(Hashtbl.find shname_offsets ".symtab")
+    ~sh_type:Types.sht_symtab ~flags:0 ~addr:0 ~offset:symtab_off
+    ~size:(Bytes.length symtab) ~link:strtab_ndx ~info:1 ~addralign:8
+    ~entsize:Types.sym_size;
+  write_shdr strtab_ndx
+    ~name_off:(Hashtbl.find shname_offsets ".strtab")
+    ~sh_type:Types.sht_strtab ~flags:0 ~addr:0 ~offset:strtab_off
+    ~size:(Bytes.length strtab) ~link:0 ~info:0 ~addralign:1 ~entsize:0;
+  write_shdr shstr_ndx
+    ~name_off:(Hashtbl.find shname_offsets ".shstrtab")
+    ~sh_type:Types.sht_strtab ~flags:0 ~addr:0 ~offset:shstr_off
+    ~size:(Bytes.length shstrtab) ~link:0 ~info:0 ~addralign:1 ~entsize:0;
+  out

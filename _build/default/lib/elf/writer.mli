@@ -1,0 +1,12 @@
+(** ELF64 serialization.
+
+    Produces a real ELF64 file image: header, program headers, section
+    data at the offsets recorded in each section, then the symbol table,
+    its string table, the section-name string table and the section
+    header table. {!Parser.parse} inverts it. *)
+
+val write : Types.t -> bytes
+(** [write t] serializes the image. Section [offset] fields must already
+    be assigned (see {!Layout.assign_offsets}) and must not collide with
+    the header area or each other; [Invalid_argument] is raised
+    otherwise. *)

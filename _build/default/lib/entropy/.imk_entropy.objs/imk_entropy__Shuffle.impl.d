@@ -1,0 +1,1 @@
+lib/entropy/shuffle.ml: Array Prng

@@ -1,0 +1,11 @@
+type source = Host_pool | Guest_rdrand
+
+type t = { source : source; gen : Prng.t }
+
+let create source ~seed = { source; gen = Prng.create ~seed }
+let source t = t.source
+let draw_u64 t = Prng.next_int64 t.gen
+let prng t = t.gen
+
+let draw_cost_ns t =
+  match t.source with Host_pool -> 50 | Guest_rdrand -> 1_500

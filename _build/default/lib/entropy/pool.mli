@@ -1,0 +1,35 @@
+(** Entropy-source models.
+
+    Paper §4.3: instead of the guest's "complex mix of entropy pools and
+    hardware instructions like rdrand", the monitor pulls from the host's
+    long-running entropy pool. Both sources produce the same quality of
+    randomness in this simulation (a seeded {!Prng.t}); what differs is
+    the *cost* of obtaining it and where it is available, which the boot
+    paths charge to the virtual clock. *)
+
+type source =
+  | Host_pool  (** host /dev/urandom-style pool; cheap, always warm *)
+  | Guest_rdrand
+      (** in-guest rdrand/early entropy mixing; slower per draw, models the
+          bootstrap loader's hardware-instruction path *)
+
+type t
+
+val create : source -> seed:int64 -> t
+(** [create source ~seed] builds a pool of the given kind. *)
+
+val source : t -> source
+(** [source t] reports which model this pool uses. *)
+
+val draw_u64 : t -> int64
+(** [draw_u64 t] draws 64 bits of randomness. *)
+
+val prng : t -> Prng.t
+(** [prng t] exposes the underlying generator for bulk use (e.g. shuffling
+    thousands of sections without paying a per-draw model cost). *)
+
+val draw_cost_ns : t -> int
+(** [draw_cost_ns t] is the modelled cost of one 64-bit draw: a host pool
+    read is a memcpy out of a DRBG (~50 ns); a guest rdrand draw includes
+    the instruction latency and retry loop (~1.5 us, in line with measured
+    RDRAND throughput on Haswell-era parts like the paper's i7-4790). *)

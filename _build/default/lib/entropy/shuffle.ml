@@ -1,0 +1,37 @@
+let shuffle_in_place rng a =
+  for i = Array.length a - 1 downto 1 do
+    let j = Prng.next_int rng (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let permutation rng n =
+  let a = Array.init n (fun i -> i) in
+  shuffle_in_place rng a;
+  a
+
+let is_permutation a =
+  let n = Array.length a in
+  let seen = Array.make n false in
+  let ok = ref true in
+  Array.iter
+    (fun x ->
+      if x < 0 || x >= n || seen.(x) then ok := false else seen.(x) <- true)
+    a;
+  !ok
+
+let identity_fraction p =
+  let n = Array.length p in
+  if n = 0 then 0.
+  else
+    let fixed = ref 0 in
+    Array.iteri (fun i x -> if i = x then incr fixed) p;
+    float_of_int !fixed /. float_of_int n
+
+let log2_factorial n =
+  let acc = ref 0. in
+  for k = 2 to n do
+    acc := !acc +. (log (float_of_int k) /. log 2.)
+  done;
+  !acc

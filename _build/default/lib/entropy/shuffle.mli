@@ -1,0 +1,28 @@
+(** Fisher–Yates shuffling and permutation helpers.
+
+    FGKASLR's core operation is shuffling the list of function sections
+    (paper §3.2); both the bootstrap loader and the monitor use this same
+    primitive, mirroring how the paper's monitor implementation adapts the
+    kernel's C [shuffle_sections]. *)
+
+val shuffle_in_place : Prng.t -> 'a array -> unit
+(** [shuffle_in_place rng a] permutes [a] uniformly at random. *)
+
+val permutation : Prng.t -> int -> int array
+(** [permutation rng n] is a uniformly random permutation of [0..n-1],
+    represented as the array of images: element [i] holds where index [i]
+    is sent. *)
+
+val is_permutation : int array -> bool
+(** [is_permutation a] checks that [a] contains each of [0..n-1] exactly
+    once — the invariant property tests rely on. *)
+
+val identity_fraction : int array -> float
+(** [identity_fraction p] is the fraction of fixed points of [p]; a
+    diagnostic used by the security analysis (a good shuffle of [n]
+    sections leaves ~1 fixed point in expectation regardless of [n]). *)
+
+val log2_factorial : int -> float
+(** [log2_factorial n] is log2(n!), the entropy in bits of a uniform
+    permutation of [n] items — the FGKASLR entropy bound reported by the
+    security experiment. *)

@@ -1,0 +1,1 @@
+lib/guest/boot_info.ml: Byteio Bytes Guest_mem Imk_memory Imk_util List Printf String

@@ -1,0 +1,1 @@
+lib/guest/boot_info.mli: Imk_memory

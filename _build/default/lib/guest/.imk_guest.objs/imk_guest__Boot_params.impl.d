@@ -1,0 +1,1 @@
+lib/guest/boot_params.ml: Array Byteio Bytes Imk_elf Imk_kernel Imk_memory Imk_util Option

@@ -1,0 +1,1 @@
+lib/guest/boot_params.mli: Imk_elf Imk_kernel Imk_memory

@@ -1,0 +1,1 @@
+lib/guest/kallsyms.ml: Boot_params Guest_mem Imk_kernel Imk_memory Imk_randomize Imk_vclock Printf

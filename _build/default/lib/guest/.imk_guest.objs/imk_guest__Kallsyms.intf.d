@@ -1,0 +1,1 @@
+lib/guest/kallsyms.mli: Boot_params Imk_memory Imk_vclock

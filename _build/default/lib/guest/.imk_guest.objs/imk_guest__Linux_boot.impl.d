@@ -1,0 +1,1 @@
+lib/guest/linux_boot.ml: Boot_info Boot_params Imk_kernel Imk_util Imk_vclock Runtime

@@ -1,0 +1,1 @@
+lib/guest/linux_boot.mli: Boot_params Imk_kernel Imk_memory Imk_vclock Runtime

@@ -1,0 +1,1 @@
+lib/guest/runtime.ml: Addr Array Boot_params Function_graph Guest_mem Image Imk_elf Imk_kernel Imk_memory Imk_util Int64 Printf Queue

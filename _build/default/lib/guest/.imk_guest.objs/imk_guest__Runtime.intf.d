@@ -1,0 +1,1 @@
+lib/guest/runtime.mli: Boot_params Imk_memory

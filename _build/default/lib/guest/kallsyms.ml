@@ -1,0 +1,72 @@
+open Imk_memory
+
+type t = { mutable lazily_fixed : bool }
+
+let create () = { lazily_fixed = false }
+
+exception Lookup_failed of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Lookup_failed s)) fmt
+
+let table_pa params =
+  Boot_params.va_to_pa params
+    (params.Boot_params.kernel.Boot_params.link_kallsyms_va
+    + Boot_params.delta params)
+
+let ensure_fixed t charge mem params =
+  if not (params.Boot_params.kallsyms_fixed || t.lazily_fixed) then begin
+    match params.Boot_params.setup_data_pa with
+    | None -> fail "kallsyms stale and no setup data to repair it"
+    | Some pa ->
+        let pairs = Boot_params.setup_data_read mem ~pa in
+        let plan = Imk_randomize.Fgkaslr.plan_of_pairs pairs in
+        Imk_vclock.Charge.span charge Imk_vclock.Trace.Linux_boot
+          "kallsyms-lazy-fixup" (fun () ->
+            Imk_randomize.Fgkaslr.fixup_kallsyms mem ~pa:(table_pa params) plan;
+            let cm = Imk_vclock.Charge.model charge in
+            let per = cm.Imk_vclock.Cost_model.kallsyms_ns_per_sym in
+            let n = params.Boot_params.kernel.Boot_params.modeled_functions in
+            Imk_vclock.Charge.pay charge
+              (int_of_float (per *. float_of_int n)));
+        t.lazily_fixed <- true
+  end
+
+let read_entry mem params k =
+  let pa = table_pa params in
+  let header = Imk_kernel.Image.kallsyms_header_bytes in
+  let entry = Imk_kernel.Image.kallsyms_entry_bytes in
+  let off_pa = pa + header + (k * entry) in
+  let off = Guest_mem.get_u32 mem ~pa:off_pa in
+  let id = Guest_mem.get_u32 mem ~pa:(off_pa + 4) in
+  (off, id)
+
+let count_and_base mem params =
+  let pa = table_pa params in
+  (Guest_mem.get_addr mem ~pa, Guest_mem.get_u32 mem ~pa:(pa + 8))
+
+let lookup t charge mem params ~va =
+  ensure_fixed t charge mem params;
+  Imk_vclock.Charge.pay charge 300 (* binary search over the table *);
+  let base, count = count_and_base mem params in
+  let target_off = va - base in
+  let rec search lo hi =
+    if lo > hi then fail "no symbol at va %#x" va
+    else
+      let mid = (lo + hi) / 2 in
+      let off, id = read_entry mem params mid in
+      if off = target_off then id
+      else if off < target_off then search (mid + 1) hi
+      else search lo (mid - 1)
+  in
+  search 0 (count - 1)
+
+let read_for_user t charge mem params ~privileged ~index =
+  ensure_fixed t charge mem params;
+  Imk_vclock.Charge.pay charge 150;
+  let base, count = count_and_base mem params in
+  if index < 0 || index >= count then fail "kallsyms index %d out of range" index;
+  let off, id = read_entry mem params index in
+  let addr = if privileged then base + off else 0 in
+  (addr, id)
+
+let fixed_up t = t.lazily_fixed

@@ -1,0 +1,52 @@
+(** /proc/kallsyms access, with the paper's deferred fixup.
+
+    §4.3: eagerly rewriting kallsyms during FGKASLR costs ~22% of overall
+    boot time, yet the kernel boots fine without it — so the paper
+    proposes deferring the fixup until kallsyms is first examined (which,
+    for single-function microVM workloads, may be never). This module
+    implements both behaviours: if the boot left kallsyms stale, the
+    first {!lookup} pays the fixup cost (reading the displacement blob
+    from setup data and rewriting the table); subsequent lookups are
+    cheap binary searches.
+
+    kptr_restrict is modelled too: unprivileged readers get zeroed
+    addresses, the leak hygiene that complements KASLR (§3.1). *)
+
+type t
+
+val create : unit -> t
+(** Per-boot kallsyms state (whether the deferred fixup ran). *)
+
+exception Lookup_failed of string
+
+val lookup :
+  t ->
+  Imk_vclock.Charge.t ->
+  Imk_memory.Guest_mem.t ->
+  Boot_params.t ->
+  va:int ->
+  int
+(** [lookup t charge mem params ~va] resolves a kernel address to a
+    function id (the stand-in for a symbol name), triggering the deferred
+    fixup on first use when the table is stale. Charges
+    [kallsyms_ns_per_sym × modeled_functions] for the fixup and a
+    negligible per-lookup cost. Raises {!Lookup_failed} if [va] is not a
+    function entry or the stale table cannot be repaired (no setup
+    data). *)
+
+val read_for_user :
+  t ->
+  Imk_vclock.Charge.t ->
+  Imk_memory.Guest_mem.t ->
+  Boot_params.t ->
+  privileged:bool ->
+  index:int ->
+  int * int
+(** [read_for_user t charge mem params ~privileged ~index] models reading
+    the [index]-th /proc/kallsyms line: returns [(address, id)] where
+    [address] is zeroed for unprivileged readers (kptr_restrict). Triggers
+    the deferred fixup like {!lookup}. *)
+
+val fixed_up : t -> bool
+(** Whether the deferred fixup has run in this boot (always false when the
+    table was eagerly fixed at boot — there was nothing to defer). *)

@@ -1,0 +1,32 @@
+let time_ns (config : Imk_kernel.Config.t) ~mem_bytes =
+  let gib = float_of_int mem_bytes /. (1024. *. 1024. *. 1024.) in
+  let ms = config.linux_boot_ms +. (config.memmap_ms_per_gib *. gib) in
+  Imk_util.Units.ms_to_ns ms
+
+let run charge (config : Imk_kernel.Config.t) mem params =
+  Imk_vclock.Charge.span charge Imk_vclock.Trace.Linux_boot "linux-boot"
+    (fun () ->
+      (* the kernel trusts nothing: boot info, initrd and its own
+         relocated structure are all checked before init runs *)
+      let info =
+        try Boot_info.validate mem ~mem_bytes:params.Boot_params.mem_bytes
+        with Boot_info.Invalid m -> raise (Runtime.Panic ("boot info: " ^ m))
+      in
+      (match info.Boot_info.initrd with
+      | None -> ()
+      | Some (pa, len) -> (
+          try
+            Imk_kernel.Initrd.validate_in_guest mem ~pa ~len;
+            (* unpacking the ramdisk is part of the boot *)
+            let cm = Imk_vclock.Charge.model charge in
+            Imk_vclock.Charge.pay charge
+              (Imk_vclock.Cost_model.memcpy_cost cm ~in_guest:true
+                 (Imk_kernel.Config.modeled_of_actual config len))
+          with Imk_kernel.Initrd.Corrupt m -> raise (Runtime.Panic m)));
+      let stats = Runtime.verify_boot mem params in
+      Imk_vclock.Charge.pay charge
+        (time_ns config ~mem_bytes:params.Boot_params.mem_bytes);
+      Imk_vclock.Trace.tracepoint
+        (Imk_vclock.Charge.trace charge)
+        Imk_vclock.Trace.Linux_boot "init";
+      stats)

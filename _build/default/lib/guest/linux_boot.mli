@@ -1,0 +1,22 @@
+(** The Linux Boot phase: from the jump to [startup_64] until init runs.
+
+    The paper measures this portion separately and finds it independent of
+    the randomization method (§5.1: nokaslr/kaslr/fgkaslr vary by at most
+    4%) but linear in guest memory (Figure 10), driven by struct-page
+    initialisation. The model is the per-config base time plus the
+    memory-proportional term; correctness of the boot itself is checked
+    separately by {!Runtime.verify_boot}. *)
+
+val time_ns : Imk_kernel.Config.t -> mem_bytes:int -> int
+(** [time_ns config ~mem_bytes] is the deterministic modelled duration. *)
+
+val run :
+  Imk_vclock.Charge.t ->
+  Imk_kernel.Config.t ->
+  Imk_memory.Guest_mem.t ->
+  Boot_params.t ->
+  Runtime.verify_stats
+(** [run charge config mem params] charges the Linux Boot span, emits the
+    init tracepoint (the paper's final perf timestamp) and verifies the
+    kernel's integrity. Raises {!Runtime.Panic} if randomization corrupted
+    the kernel. *)

@@ -1,0 +1,202 @@
+open Imk_memory
+open Imk_kernel
+
+exception Panic of string
+
+let panic fmt = Printf.ksprintf (fun s -> raise (Panic s)) fmt
+
+type verify_stats = {
+  functions_visited : int;
+  sites_verified : int;
+  rodata_verified : int;
+  extab_verified : int;
+  kallsyms_verified : int;
+  orc_verified : int;
+}
+
+let read_mem mem params ~va ~len ~what =
+  let pa = Boot_params.va_to_pa params va in
+  try Guest_mem.read_bytes mem ~pa ~len
+  with Guest_mem.Fault m -> panic "%s at va %#x: %s" what va m
+
+let read_fn_header mem params ~va =
+  let hdr = read_mem mem params ~va ~len:Function_graph.fn_header_bytes ~what:"function header" in
+  (* raw 64-bit read: a bad pointer may land on arbitrary bytes *)
+  let magic = Imk_util.Byteio.get_i64 hdr 0 in
+  let id = Imk_util.Byteio.get_u32 hdr 8 in
+  let n_sites = Imk_util.Byteio.get_u32 hdr 12 in
+  let size = Imk_util.Byteio.get_u32 hdr 16 in
+  if magic <> Int64.of_int (Function_graph.fn_magic id) then
+    panic "bad function magic at va %#x (claims id %d)" va id;
+  (id, n_sites, size)
+
+let fn_at mem params ~va =
+  let pa = Boot_params.va_to_pa params va in
+  match Guest_mem.read_bytes mem ~pa ~len:Function_graph.fn_header_bytes with
+  | exception Guest_mem.Fault _ -> None
+  | hdr ->
+      let magic = Imk_util.Byteio.get_i64 hdr 0 in
+      let id = Imk_util.Byteio.get_u32 hdr 8 in
+      if magic = Int64.of_int (Function_graph.fn_magic id) then Some id
+      else None
+
+let check_fn mem params ~va ~expect_id ~what =
+  let id, _, _ = read_fn_header mem params ~va in
+  if id <> expect_id then
+    panic "%s: va %#x holds function %d, expected %d" what va id expect_id
+
+let target_va_of_site kind value =
+  match kind with
+  | Imk_elf.Relocation.Abs64 -> value
+  | Imk_elf.Relocation.Abs32 -> (
+      try Addr.va_of_low32 value
+      with Invalid_argument _ -> panic "abs32 site holds non-kernel value %#x" value)
+  | Imk_elf.Relocation.Inv32 -> Addr.inverse_base - value
+
+let walk_functions mem params =
+  let n = params.Boot_params.kernel.Boot_params.n_functions in
+  let visited = Array.make n false in
+  let fn_va = Array.make n (-1) in
+  let queue = Queue.create () in
+  let sites = ref 0 in
+  Queue.add params.Boot_params.entry_va queue;
+  while not (Queue.is_empty queue) do
+    let va = Queue.pop queue in
+    let id, n_sites, _size = read_fn_header mem params ~va in
+    if id < 0 || id >= n then panic "function id %d out of range at %#x" id va;
+    if not visited.(id) then begin
+      visited.(id) <- true;
+      fn_va.(id) <- va;
+      for k = 0 to n_sites - 1 do
+        let site_va =
+          va + Function_graph.fn_header_bytes + (k * Function_graph.site_bytes)
+        in
+        let rec_bytes =
+          read_mem mem params ~va:site_va ~len:Function_graph.site_bytes
+            ~what:"call site"
+        in
+        let kind = Image.site_kind_of_code (Imk_util.Byteio.get_u8 rec_bytes 0) in
+        let target_id = Imk_util.Byteio.get_u32 rec_bytes 4 in
+        let value =
+          match kind with
+          | Imk_elf.Relocation.Abs64 -> Imk_util.Byteio.get_addr rec_bytes 8
+          | Imk_elf.Relocation.Abs32 | Imk_elf.Relocation.Inv32 ->
+              Imk_util.Byteio.get_u32 rec_bytes 8
+        in
+        let target_va = target_va_of_site kind value in
+        check_fn mem params ~va:target_va ~expect_id:target_id
+          ~what:(Printf.sprintf "call from fn %d via %s" id
+                   (Imk_elf.Relocation.kind_name kind));
+        incr sites;
+        if target_id >= 0 && target_id < n && not visited.(target_id) then
+          Queue.add target_va queue
+      done
+    end
+  done;
+  let count = Array.fold_left (fun acc v -> if v then acc + 1 else acc) 0 visited in
+  if count <> n then
+    panic "only %d of %d functions reachable after boot" count n;
+  (count, !sites, fn_va)
+
+let verify_rodata mem params =
+  let info = params.Boot_params.kernel in
+  let delta = Boot_params.delta params in
+  let va = info.Boot_params.link_rodata_va + delta in
+  let header = read_mem mem params ~va ~len:Image.rodata_header_bytes ~what:"rodata" in
+  let count = Imk_util.Byteio.get_u32 header 0 in
+  for k = 0 to count - 1 do
+    let entry_va = va + Image.rodata_header_bytes + (k * Image.rodata_entry_bytes) in
+    let e = read_mem mem params ~va:entry_va ~len:Image.rodata_entry_bytes ~what:"rodata entry" in
+    let ptr = Imk_util.Byteio.get_addr e 0 in
+    let id = Imk_util.Byteio.get_u32 e 8 in
+    check_fn mem params ~va:ptr ~expect_id:id ~what:"rodata pointer"
+  done;
+  count
+
+let verify_kallsyms mem params =
+  let info = params.Boot_params.kernel in
+  let delta = Boot_params.delta params in
+  let va = info.Boot_params.link_kallsyms_va + delta in
+  let header = read_mem mem params ~va ~len:Image.kallsyms_header_bytes ~what:"kallsyms" in
+  let base = Imk_util.Byteio.get_addr header 0 in
+  if base <> Addr.kmap_base + delta then
+    panic "kallsyms base %#x not relocated (expected %#x)" base
+      (Addr.kmap_base + delta);
+  let count = Imk_util.Byteio.get_u32 header 8 in
+  let prev = ref (-1) in
+  for k = 0 to count - 1 do
+    let entry_va = va + Image.kallsyms_header_bytes + (k * Image.kallsyms_entry_bytes) in
+    let e = read_mem mem params ~va:entry_va ~len:Image.kallsyms_entry_bytes ~what:"kallsyms entry" in
+    let off = Imk_util.Byteio.get_u32 e 0 in
+    let id = Imk_util.Byteio.get_u32 e 4 in
+    if off <= !prev then panic "kallsyms not sorted at entry %d" k;
+    prev := off;
+    check_fn mem params ~va:(base + off) ~expect_id:id ~what:"kallsyms symbol"
+  done;
+  count
+
+let verify_extab mem params =
+  let info = params.Boot_params.kernel in
+  let delta = Boot_params.delta params in
+  let va = info.Boot_params.link_extab_va + delta in
+  let header = read_mem mem params ~va ~len:Image.extab_header_bytes ~what:"extab" in
+  let count = Imk_util.Byteio.get_u32 header 0 in
+  let prev = ref min_int in
+  for k = 0 to count - 1 do
+    let entry_va = va + Image.extab_header_bytes + (k * Image.extab_entry_bytes) in
+    let e = read_mem mem params ~va:entry_va ~len:Image.extab_entry_bytes ~what:"extab entry" in
+    let fault_disp = Imk_util.Byteio.get_u32_signed e 0 in
+    let handler_disp = Imk_util.Byteio.get_u32_signed e 4 in
+    let fault_fn = Imk_util.Byteio.get_u32 e 8 in
+    let handler_fn = Imk_util.Byteio.get_u32 e 12 in
+    let fault_off = Imk_util.Byteio.get_u32 e 16 in
+    let fault_va = entry_va + fault_disp in
+    let handler_va = entry_va + 4 + handler_disp in
+    (* non-strict: distinct entries may share a fault address *)
+    if fault_va < !prev then panic "extab not sorted at entry %d" k;
+    prev := fault_va;
+    check_fn mem params ~va:(fault_va - fault_off) ~expect_id:fault_fn
+      ~what:"extab fault site";
+    check_fn mem params ~va:handler_va ~expect_id:handler_fn
+      ~what:"extab handler"
+  done;
+  count
+
+let verify_orc mem params =
+  match params.Boot_params.kernel.Boot_params.link_orc_va with
+  | None -> 0
+  | Some link_va ->
+      if not params.Boot_params.orc_fixed then 0
+      else begin
+        let delta = Boot_params.delta params in
+        let va = link_va + delta in
+        let header = read_mem mem params ~va ~len:Image.orc_header_bytes ~what:"orc" in
+        let count = Imk_util.Byteio.get_u32 header 0 in
+        let prev = ref min_int in
+        for k = 0 to count - 1 do
+          let entry_va = va + Image.orc_header_bytes + (k * Image.orc_entry_bytes) in
+          let e = read_mem mem params ~va:entry_va ~len:Image.orc_entry_bytes ~what:"orc entry" in
+          let ip_disp = Imk_util.Byteio.get_u32_signed e 0 in
+          let ip_va = entry_va + ip_disp in
+          if ip_va < !prev then panic "orc not sorted at entry %d" k;
+          prev := ip_va
+        done;
+        count
+      end
+
+let verify_boot mem params =
+  let functions_visited, sites_verified, _fn_va = walk_functions mem params in
+  let rodata_verified = verify_rodata mem params in
+  let extab_verified = verify_extab mem params in
+  let kallsyms_verified =
+    if params.Boot_params.kallsyms_fixed then verify_kallsyms mem params else 0
+  in
+  let orc_verified = verify_orc mem params in
+  {
+    functions_visited;
+    sites_verified;
+    rodata_verified;
+    extab_verified;
+    kallsyms_verified;
+    orc_verified;
+  }

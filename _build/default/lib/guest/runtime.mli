@@ -1,0 +1,40 @@
+(** Guest kernel execution: boot-time integrity verification.
+
+    The honesty mechanism of the whole reproduction (DESIGN.md §4.2): the
+    "kernel" boots by walking its own pointers. Starting from the entry
+    point it follows every call site — decoding the three relocation-site
+    kinds exactly as encoded — and checks that each target address lands
+    on the header magic of the expected function. A single missed,
+    double-applied or mis-displaced relocation sends a pointer into
+    filler bytes and raises {!Panic}, the analogue of the kernel crashing
+    during boot. The rodata pointer table, the exception table and (when
+    trusted) kallsyms and ORC are verified the same way. *)
+
+exception Panic of string
+(** The guest kernel crashed: a pointer did not land where it should. *)
+
+type verify_stats = {
+  functions_visited : int;
+  sites_verified : int;
+  rodata_verified : int;
+  extab_verified : int;
+  kallsyms_verified : int;  (** 0 when kallsyms was left stale *)
+  orc_verified : int;  (** 0 when the table is absent or stale *)
+}
+
+val verify_boot : Imk_memory.Guest_mem.t -> Boot_params.t -> verify_stats
+(** [verify_boot mem params] walks the whole kernel. The call graph is
+    strongly connected, so [functions_visited] must equal
+    [params.kernel.n_functions]; anything less means unreachable
+    (mis-loaded) code and raises {!Panic}. Verification is free on the
+    virtual clock: it stands for execution whose time is already modelled
+    by {!Linux_boot}. *)
+
+val read_fn_header : Imk_memory.Guest_mem.t -> Boot_params.t -> va:int -> int * int * int
+(** [read_fn_header mem params ~va] returns [(id, n_sites, size)] after
+    checking the magic at [va]; raises {!Panic} on a mismatch. Exposed
+    for the attack simulator, which probes addresses the same way. *)
+
+val fn_at : Imk_memory.Guest_mem.t -> Boot_params.t -> va:int -> int option
+(** [fn_at mem params ~va] is the id of the function whose header starts
+    exactly at [va], if the magic matches — a non-raising probe. *)

@@ -1,0 +1,1 @@
+lib/harness/boot_runner.ml: Charge Clock Cost_model Hashtbl Imk_entropy Imk_monitor Imk_storage Imk_util Imk_vclock Int64 List Option String Trace

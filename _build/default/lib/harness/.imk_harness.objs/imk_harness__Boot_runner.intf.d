@@ -1,0 +1,1 @@
+lib/harness/boot_runner.mli: Imk_monitor Imk_storage Imk_util Imk_vclock

@@ -1,0 +1,1 @@
+lib/harness/workspace.ml: Bzimage Config Hashtbl Image Imk_kernel Imk_storage List Printf

@@ -1,0 +1,1 @@
+lib/harness/workspace.mli: Imk_kernel Imk_storage

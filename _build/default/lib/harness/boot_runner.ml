@@ -1,0 +1,72 @@
+open Imk_vclock
+
+type phase_stats = {
+  in_monitor : Imk_util.Stats.summary;
+  bootstrap : Imk_util.Stats.summary;
+  decompression : Imk_util.Stats.summary;
+  linux_boot : Imk_util.Stats.summary;
+  total : Imk_util.Stats.summary;
+}
+
+let ms s = Imk_util.Units.ns_to_ms (int_of_float s.Imk_util.Stats.mean)
+
+let boot_once ?(jitter = true) ~seed ~cache vm =
+  let clock = Clock.create () in
+  let trace = Trace.create clock in
+  let jitter_rng =
+    if jitter then Some (Imk_entropy.Prng.create ~seed:(Int64.add seed 7919L))
+    else None
+  in
+  let ch = Charge.create ?jitter:jitter_rng trace Cost_model.default in
+  let result = Imk_monitor.Vmm.boot ch cache { vm with Imk_monitor.Vm_config.seed } in
+  (trace, result)
+
+let boot_many ?(warmups = 5) ?(cold = false) ~runs ~cache ~make_vm () =
+  let phase_samples = Hashtbl.create 8 in
+  let totals = ref [] in
+  let record phase v =
+    let prev = Option.value ~default:[] (Hashtbl.find_opt phase_samples phase) in
+    Hashtbl.replace phase_samples phase (v :: prev)
+  in
+  let one ~seed ~recorded =
+    if cold then Imk_storage.Page_cache.drop_caches cache;
+    let trace, _result = boot_once ~seed ~cache (make_vm ~seed) in
+    if recorded then begin
+      List.iter
+        (fun (phase, ns) -> record phase (float_of_int ns))
+        (Trace.breakdown trace);
+      totals := float_of_int (Trace.total trace) :: !totals
+    end
+  in
+  for i = 1 to warmups do
+    one ~seed:(Int64.of_int (1000 + i)) ~recorded:false
+  done;
+  for i = 1 to runs do
+    one ~seed:(Int64.of_int (2000 + i)) ~recorded:true
+  done;
+  let summary phase =
+    Imk_util.Stats.summarize
+      (Option.value ~default:[ 0. ] (Hashtbl.find_opt phase_samples phase))
+  in
+  {
+    in_monitor = summary Trace.In_monitor;
+    bootstrap = summary Trace.Bootstrap_setup;
+    decompression = summary Trace.Decompression;
+    linux_boot = summary Trace.Linux_boot;
+    total = Imk_util.Stats.summarize !totals;
+  }
+
+let spans_by_label trace =
+  let acc = Hashtbl.create 16 in
+  List.iter
+    (fun (s : Trace.span) ->
+      let label =
+        if String.length s.label > 0 && s.label.[0] = '+' then
+          String.sub s.label 1 (String.length s.label - 1)
+        else s.label
+      in
+      let prev = Option.value ~default:0 (Hashtbl.find_opt acc label) in
+      Hashtbl.replace acc label (prev + (s.stop_ns - s.start_ns)))
+    (Trace.spans trace);
+  Hashtbl.fold (fun k v l -> (k, v) :: l) acc []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)

@@ -1,0 +1,44 @@
+(** Repeated-boot measurement, following the paper's methodology (§5.1):
+    warm the cache with five boots, then measure N boots, reporting the
+    average with min/max. Cold-cache runs drop the caches before every
+    measured boot instead. *)
+
+type phase_stats = {
+  in_monitor : Imk_util.Stats.summary;
+  bootstrap : Imk_util.Stats.summary;
+  decompression : Imk_util.Stats.summary;
+  linux_boot : Imk_util.Stats.summary;
+  total : Imk_util.Stats.summary;
+}
+
+val ms : Imk_util.Stats.summary -> float
+(** Mean in milliseconds (summaries are collected in ns). *)
+
+val boot_many :
+  ?warmups:int ->
+  ?cold:bool ->
+  runs:int ->
+  cache:Imk_storage.Page_cache.t ->
+  make_vm:(seed:int64 -> Imk_monitor.Vm_config.t) ->
+  unit ->
+  phase_stats
+(** [boot_many ~runs ~cache ~make_vm ()] performs [warmups] (default 5)
+    unrecorded boots, then [runs] recorded ones, each with a fresh seed
+    and jittered costs. [cold] (default false) drops the page cache
+    before every boot, including warmups (which then serve only to
+    surface errors early). Raises whatever the boot raises — a failing
+    configuration should fail the experiment. *)
+
+val boot_once :
+  ?jitter:bool ->
+  seed:int64 ->
+  cache:Imk_storage.Page_cache.t ->
+  Imk_monitor.Vm_config.t ->
+  Imk_vclock.Trace.t * Imk_monitor.Vmm.boot_result
+(** One instrumented boot, returning the full trace (for span-level
+    analyses like Figure 5) and the result (for layout-dependent
+    analyses like LEBench and the attack simulation). *)
+
+val spans_by_label : Imk_vclock.Trace.t -> (string * int) list
+(** Aggregate span durations by label, for breakdowns finer than the
+    four phases. *)

@@ -1,0 +1,1135 @@
+open Imk_kernel
+open Imk_monitor
+
+type output = {
+  id : string;
+  title : string;
+  table : Imk_util.Table.t;
+  notes : string list;
+}
+
+let presets = Config.all_presets
+let pname = Config.preset_name
+let msf = Boot_runner.ms
+let msv f = Printf.sprintf "%.1f" f
+let pct a b = Imk_util.Stats.pct_change b a (* change of a relative to b *)
+
+let direct_vm ws preset variant ~rando ?(kallsyms = Vm_config.Kallsyms_eager)
+    ?(profile = Profiles.firecracker) ?(mem = 256 * 1024 * 1024) () ~seed =
+  let need_relocs = rando <> Vm_config.Rando_off in
+  Vm_config.make ~rando ~profile ~mem_bytes:mem ~kallsyms
+    ~relocs_path:
+      (if need_relocs then Some (Workspace.relocs_path ws preset variant)
+       else None)
+    ~kernel_path:(Workspace.vmlinux_path ws preset variant)
+    ~kernel_config:(Workspace.config ws preset variant)
+    ~seed ()
+
+let bz_vm ws preset variant ~codec ~bz ~rando ?(loader = Vm_config.Loader_stripped)
+    ?(profile = Profiles.firecracker) ?(mem = 256 * 1024 * 1024) () ~seed =
+  let path = Workspace.bzimage_path ws preset variant ~codec ~bz in
+  Vm_config.make ~flavor:Vm_config.In_monitor_fgkaslr ~rando ~profile
+    ~mem_bytes:mem ~loader ~kernel_path:path
+    ~kernel_config:(Workspace.config ws preset variant)
+    ~seed ()
+
+let variant_of_rando = function
+  | Vm_config.Rando_off -> Config.Nokaslr
+  | Vm_config.Rando_kaslr -> Config.Kaslr
+  | Vm_config.Rando_fgkaslr -> Config.Fgkaslr
+
+let rando_name = function
+  | Vm_config.Rando_off -> "nokaslr"
+  | Vm_config.Rando_kaslr -> "kaslr"
+  | Vm_config.Rando_fgkaslr -> "fgkaslr"
+
+(* ---------- Table 1 ---------- *)
+
+let table1 ws =
+  let table =
+    Imk_util.Table.create
+      ~headers:
+        [ "kernel"; "vmlinux"; "bzImage(None)"; "bzImage(LZ4)"; "relocs"; "sections" ]
+  in
+  List.iter
+    (fun preset ->
+      List.iter
+        (fun variant ->
+          let b = Workspace.built ws preset variant in
+          let bz codec =
+            let path =
+              Workspace.bzimage_path ws preset variant ~codec
+                ~bz:Bzimage.Standard
+            in
+            Config.modeled_of_actual b.Image.config
+              (Imk_storage.Disk.size (Workspace.disk ws) path)
+          in
+          let bytes = Imk_util.Units.bytes_to_string in
+          Imk_util.Table.add_row table
+            [
+              b.Image.config.Config.name;
+              bytes (Image.modeled_vmlinux_bytes b);
+              bytes (bz "none");
+              bytes (bz "lz4");
+              (if b.Image.config.Config.relocatable then
+                 bytes (Image.modeled_reloc_bytes b)
+               else "N/A");
+              string_of_int (Image.modeled_sections b);
+            ])
+        Config.all_variants)
+    presets;
+  {
+    id = "table1";
+    title = "Table 1: kernel image sizes (modelled at paper scale)";
+    table;
+    notes =
+      [
+        "fgkaslr variants are larger than kaslr variants (function sections)";
+        "relocs grow: lupine < aws < ubuntu, and kaslr < fgkaslr";
+      ];
+  }
+
+(* ---------- Figure 3: compression bakeoff ---------- *)
+
+let fig3 ?(runs = 20) ws =
+  let codecs = [ "gzip"; "bzip2"; "lzma"; "xz"; "lzo"; "lz4" ] in
+  let table =
+    Imk_util.Table.create
+      ~headers:[ "codec"; "total ms"; "decompress ms"; "in-monitor ms"; "min"; "max" ]
+  in
+  let totals =
+    List.map
+      (fun codec ->
+        let make_vm =
+          bz_vm ws Config.Aws Config.Nokaslr ~codec ~bz:Bzimage.Standard
+            ~rando:Vm_config.Rando_off ()
+        in
+        Workspace.warm_all ws;
+        let s =
+          Boot_runner.boot_many ~runs ~cache:(Workspace.cache ws) ~make_vm ()
+        in
+        Imk_util.Table.add_row table
+          [
+            codec;
+            msv (msf s.Boot_runner.total);
+            msv (msf s.Boot_runner.decompression);
+            msv (msf s.Boot_runner.in_monitor);
+            msv (Imk_util.Units.ns_to_ms (int_of_float s.Boot_runner.total.Imk_util.Stats.min));
+            msv (Imk_util.Units.ns_to_ms (int_of_float s.Boot_runner.total.Imk_util.Stats.max));
+          ];
+        (codec, msf s.Boot_runner.total))
+      codecs
+  in
+  let best = List.fold_left (fun (bc, bv) (c, v) -> if v < bv then (c, v) else (bc, bv)) ("", infinity) totals in
+  {
+    id = "fig3";
+    title = "Figure 3: compression bakeoff (aws kernel bzImage boots, cached)";
+    table;
+    notes =
+      [
+        Printf.sprintf "fastest codec: %s (paper: LZ4)" (fst best);
+      ];
+  }
+
+(* ---------- Figure 4: cache effects ---------- *)
+
+let fig4 ?(runs = 20) ws =
+  let table =
+    Imk_util.Table.create
+      ~headers:[ "kernel"; "method"; "cache"; "in-monitor"; "bootstrap"; "decomp"; "linux"; "total ms" ]
+  in
+  let notes = ref [] in
+  List.iter
+    (fun preset ->
+      let run ~cold ~method_name make_vm =
+        Workspace.warm_all ws;
+        let s =
+          Boot_runner.boot_many ~cold ~runs ~cache:(Workspace.cache ws) ~make_vm ()
+        in
+        Imk_util.Table.add_row table
+          [
+            pname preset;
+            method_name;
+            (if cold then "cold" else "warm");
+            msv (msf s.Boot_runner.in_monitor);
+            msv (msf s.Boot_runner.bootstrap);
+            msv (msf s.Boot_runner.decompression);
+            msv (msf s.Boot_runner.linux_boot);
+            msv (msf s.Boot_runner.total);
+          ];
+        msf s.Boot_runner.total
+      in
+      let bz_mk =
+        bz_vm ws preset Config.Nokaslr ~codec:"lz4" ~bz:Bzimage.Standard
+          ~rando:Vm_config.Rando_off ()
+      in
+      let direct_mk =
+        direct_vm ws preset Config.Nokaslr ~rando:Vm_config.Rando_off ()
+      in
+      let bz_cold = run ~cold:true ~method_name:"bzImage-lz4" bz_mk in
+      let dir_cold = run ~cold:true ~method_name:"direct" direct_mk in
+      let bz_warm = run ~cold:false ~method_name:"bzImage-lz4" bz_mk in
+      let dir_warm = run ~cold:false ~method_name:"direct" direct_mk in
+      notes :=
+        Printf.sprintf
+          "%s: cold — direct %+.0f%% vs bzImage (paper: direct slower); warm — direct %+.0f%% (paper: direct faster)"
+          (pname preset) (pct dir_cold bz_cold) (pct dir_warm bz_warm)
+        :: !notes)
+    presets;
+  {
+    id = "fig4";
+    title = "Figure 4: cache effects on bzImage vs direct boot";
+    table;
+    notes = List.rev !notes;
+  }
+
+(* ---------- Figure 5: bootstrap breakdown ---------- *)
+
+let fig5 ?(runs = 10) ws =
+  ignore runs;
+  let table =
+    Imk_util.Table.create
+      ~headers:[ "kernel"; "setup ms"; "decompression ms"; "parse+load ms"; "decomp %" ]
+  in
+  let notes = ref [] in
+  List.iter
+    (fun preset ->
+      Workspace.warm_all ws;
+      let vm =
+        bz_vm ws preset Config.Nokaslr ~codec:"lz4" ~bz:Bzimage.Standard
+          ~rando:Vm_config.Rando_off () ~seed:11L
+      in
+      let trace, _ = Boot_runner.boot_once ~jitter:false ~seed:11L ~cache:(Workspace.cache ws) vm in
+      let spans = Boot_runner.spans_by_label trace in
+      let find label =
+        Option.value ~default:0 (List.assoc_opt label spans)
+      in
+      let setup = find "loader-setup" in
+      let decomp = find "decompress-lz4" in
+      let main = find "loader-main" in
+      let total_loader = setup + decomp + main in
+      let pct_decomp =
+        100. *. float_of_int decomp /. float_of_int (max 1 total_loader)
+      in
+      Imk_util.Table.add_row table
+        [
+          pname preset;
+          msv (Imk_util.Units.ns_to_ms setup);
+          msv (Imk_util.Units.ns_to_ms decomp);
+          msv (Imk_util.Units.ns_to_ms main);
+          Printf.sprintf "%.0f%%" pct_decomp;
+        ];
+      notes := Printf.sprintf "%s: decompression = %.0f%% of loader time (paper: up to 73%%)" (pname preset) pct_decomp :: !notes)
+    presets;
+  {
+    id = "fig5";
+    title = "Figure 5: bootstrap loader step breakdown (LZ4 bzImage)";
+    table;
+    notes = List.rev !notes;
+  }
+
+(* ---------- Figure 6: bootstrap methods ---------- *)
+
+let fig6 ?(runs = 20) ws =
+  let table =
+    Imk_util.Table.create
+      ~headers:[ "method"; "in-monitor"; "bootstrap"; "decomp"; "total ms" ]
+  in
+  let measure method_name make_vm =
+    Workspace.warm_all ws;
+    let s = Boot_runner.boot_many ~runs ~cache:(Workspace.cache ws) ~make_vm () in
+    Imk_util.Table.add_row table
+      [
+        method_name;
+        msv (msf s.Boot_runner.in_monitor);
+        msv (msf s.Boot_runner.bootstrap);
+        msv (msf s.Boot_runner.decompression);
+        msv (msf s.Boot_runner.total);
+      ];
+    (method_name, msf s.Boot_runner.total)
+  in
+  let p = Config.Aws and v = Config.Nokaslr in
+  let r = Vm_config.Rando_off in
+  let results =
+    [
+      measure "compression-none"
+        (bz_vm ws p v ~codec:"none" ~bz:Bzimage.Standard ~rando:r ());
+      measure "lz4" (bz_vm ws p v ~codec:"lz4" ~bz:Bzimage.Standard ~rando:r ());
+      measure "none-optimized"
+        (bz_vm ws p v ~codec:"none" ~bz:Bzimage.None_optimized ~rando:r ());
+      measure "uncompressed(direct)" (direct_vm ws p v ~rando:r ());
+    ]
+  in
+  let ordered =
+    List.map fst (List.sort (fun (_, a) (_, b) -> compare b a) results)
+  in
+  {
+    id = "fig6";
+    title = "Figure 6: bootstrap method comparison (aws kernel, cached)";
+    table;
+    notes =
+      [
+        "slowest→fastest: " ^ String.concat " > " ordered
+        ^ "  (paper: none > lz4 > none-optimized > uncompressed)";
+      ];
+  }
+
+(* ---------- Figure 9: main evaluation ---------- *)
+
+let fig9_cell ws preset rando ~runs ~method_ =
+  let variant = variant_of_rando rando in
+  Workspace.warm_all ws;
+  let make_vm =
+    match method_ with
+    | `Direct ->
+        direct_vm ws preset variant ~rando
+          ~kallsyms:
+            (if rando = Vm_config.Rando_fgkaslr then Vm_config.Kallsyms_deferred
+             else Vm_config.Kallsyms_eager)
+          ()
+    | `None_opt ->
+        bz_vm ws preset variant ~codec:"none" ~bz:Bzimage.None_optimized ~rando ()
+    | `Lz4 -> bz_vm ws preset variant ~codec:"lz4" ~bz:Bzimage.Standard ~rando ()
+  in
+  Boot_runner.boot_many ~runs ~cache:(Workspace.cache ws) ~make_vm ()
+
+let fig9 ?(runs = 20) ws =
+  let table =
+    Imk_util.Table.create
+      ~headers:
+        [ "kernel"; "rando"; "method"; "in-monitor"; "bootstrap"; "decomp"; "linux"; "total ms"; "min"; "max" ]
+  in
+  let notes = ref [] in
+  let cell = Hashtbl.create 32 in
+  List.iter
+    (fun preset ->
+      List.iter
+        (fun rando ->
+          List.iter
+            (fun (mname, m) ->
+              let s = fig9_cell ws preset rando ~runs ~method_:m in
+              Hashtbl.replace cell (preset, rando_name rando, mname)
+                (msf s.Boot_runner.total);
+              Imk_util.Table.add_row table
+                [
+                  pname preset;
+                  rando_name rando;
+                  mname;
+                  msv (msf s.Boot_runner.in_monitor);
+                  msv (msf s.Boot_runner.bootstrap);
+                  msv (msf s.Boot_runner.decompression);
+                  msv (msf s.Boot_runner.linux_boot);
+                  msv (msf s.Boot_runner.total);
+                  msv (Imk_util.Units.ns_to_ms (int_of_float s.Boot_runner.total.Imk_util.Stats.min));
+                  msv (Imk_util.Units.ns_to_ms (int_of_float s.Boot_runner.total.Imk_util.Stats.max));
+                ])
+            [
+              ("in-monitor/direct", `Direct);
+              ("none-optimized", `None_opt);
+              ("lz4", `Lz4);
+            ])
+        [ Vm_config.Rando_off; Vm_config.Rando_kaslr; Vm_config.Rando_fgkaslr ])
+    presets;
+  let get p r m = Hashtbl.find cell (p, r, m) in
+  List.iter
+    (fun preset ->
+      let p = preset in
+      let baseline = get p "nokaslr" "in-monitor/direct" in
+      let imk = get p "kaslr" "in-monitor/direct" in
+      let nopt = get p "kaslr" "none-optimized" in
+      let lz4 = get p "kaslr" "lz4" in
+      let imfg = get p "fgkaslr" "in-monitor/direct" in
+      let noptfg = get p "fgkaslr" "none-optimized" in
+      notes :=
+        Printf.sprintf
+          "%s: in-monitor KASLR +%.1f ms (+%.1f%%) over baseline (paper avg: +4%%, 2 ms); \
+           vs none-opt self-rando %.0f%% faster (paper: up to 22%%); vs lz4 %.0f%% faster; \
+           FGKASLR %.2fx baseline (paper: 1.8–2.3x), vs none-opt self %.0f%% faster"
+          (pname p) (imk -. baseline) (pct imk baseline)
+          (pct nopt imk) (pct lz4 imk)
+          (imfg /. baseline) (pct noptfg imfg)
+        :: !notes)
+    presets;
+  {
+    id = "fig9";
+    title = "Figure 9: boot time by randomization method (cached, 256 MiB)";
+    table;
+    notes = List.rev !notes;
+  }
+
+(* ---------- Figure 10: memory sweep ---------- *)
+
+let fig10 ?(runs = 5) ws =
+  (* 2 GiB guests make these the most expensive boots to simulate; the
+     monitor-time-is-flat / linux-boot-is-linear shape needs few samples *)
+  let runs = min runs 8 in
+  let table =
+    Imk_util.Table.create
+      ~headers:[ "kernel"; "rando"; "mem"; "in-monitor ms"; "linux ms"; "total ms" ]
+  in
+  let mems =
+    [ (256, 256 * 1024 * 1024); (512, 512 * 1024 * 1024); (1024, 1024 * 1024 * 1024); (2048, 2048 * 1024 * 1024) ]
+  in
+  let notes = ref [] in
+  List.iter
+    (fun preset ->
+      List.iter
+        (fun rando ->
+          let im_values = ref [] in
+          List.iter
+            (fun (label, mem) ->
+              Workspace.warm_all ws;
+              let make_vm =
+                direct_vm ws preset (variant_of_rando rando) ~rando ~mem ()
+              in
+              let s =
+                Boot_runner.boot_many ~runs ~cache:(Workspace.cache ws) ~make_vm ()
+              in
+              im_values := msf s.Boot_runner.in_monitor :: !im_values;
+              Imk_util.Table.add_row table
+                [
+                  pname preset;
+                  rando_name rando;
+                  Printf.sprintf "%dM" label;
+                  msv (msf s.Boot_runner.in_monitor);
+                  msv (msf s.Boot_runner.linux_boot);
+                  msv (msf s.Boot_runner.total);
+                ])
+            mems;
+          let vals = !im_values in
+          let spread =
+            List.fold_left max neg_infinity vals -. List.fold_left min infinity vals
+          in
+          notes :=
+            Printf.sprintf "%s/%s: in-monitor spread across memory sizes %.2f ms (paper: flat)"
+              (pname preset) (rando_name rando) spread
+            :: !notes)
+        [ Vm_config.Rando_off; Vm_config.Rando_kaslr; Vm_config.Rando_fgkaslr ])
+    presets;
+  {
+    id = "fig10";
+    title = "Figure 10: guest memory impact on boot time";
+    table;
+    notes = List.rev !notes;
+  }
+
+(* ---------- Figure 11: LEBench ---------- *)
+
+let lebench_layout ws rando ~seed =
+  let variant = variant_of_rando rando in
+  Workspace.warm_all ws;
+  let vm = direct_vm ws Config.Aws variant ~rando () ~seed in
+  let trace, result =
+    Boot_runner.boot_once ~jitter:false ~seed ~cache:(Workspace.cache ws) vm
+  in
+  let ch = Imk_vclock.Charge.create trace Imk_vclock.Cost_model.default in
+  Imk_lebench.Runner.layout_of_guest ch result.Vmm.mem result.Vmm.params
+
+let fig11 ?(runs = 1) ws =
+  ignore runs;
+  let base_layout = lebench_layout ws Vm_config.Rando_off ~seed:31L in
+  let baseline = Imk_lebench.Runner.run ~fn_va:base_layout () in
+  let table =
+    Imk_util.Table.create ~headers:[ "test"; "kaslr (norm)"; "fgkaslr (norm)" ]
+  in
+  let norm rando seed =
+    let layout = lebench_layout ws rando ~seed in
+    Imk_lebench.Runner.normalize ~baseline
+      (Imk_lebench.Runner.run ~fn_va:layout ~noise_seed:seed ())
+  in
+  let k = norm Vm_config.Rando_kaslr 32L in
+  let f = norm Vm_config.Rando_fgkaslr 33L in
+  List.iter2
+    (fun (name, kv) (_, fv) ->
+      Imk_util.Table.add_row table
+        [ name; Printf.sprintf "%.3f" kv; Printf.sprintf "%.3f" fv ])
+    k f;
+  let avg l = Imk_util.Stats.mean (List.map snd l) in
+  {
+    id = "fig11";
+    title = "Figure 11: LEBench normalized to aws-nokaslr";
+    table;
+    notes =
+      [
+        Printf.sprintf "KASLR average %.1f%% slower (paper: <1%%, within noise)"
+          ((avg k -. 1.) *. 100.);
+        Printf.sprintf "FGKASLR average %.1f%% slower (paper: ~7%%)"
+          ((avg f -. 1.) *. 100.);
+      ];
+  }
+
+(* ---------- QEMU cross-check ---------- *)
+
+let qemu_check ?(runs = 10) ws =
+  let table =
+    Imk_util.Table.create
+      ~headers:[ "vmm"; "method"; "in-monitor"; "total ms" ]
+  in
+  let notes = ref [] in
+  List.iter
+    (fun profile ->
+      let totals =
+        List.map
+          (fun (mname, make_vm) ->
+            Workspace.warm_all ws;
+            let s =
+              Boot_runner.boot_many ~runs ~cache:(Workspace.cache ws) ~make_vm ()
+            in
+            Imk_util.Table.add_row table
+              [
+                profile.Profiles.name;
+                mname;
+                msv (msf s.Boot_runner.in_monitor);
+                msv (msf s.Boot_runner.total);
+              ];
+            (mname, msf s.Boot_runner.total))
+          [
+            ( "bzImage-lz4",
+              bz_vm ws Config.Aws Config.Nokaslr ~codec:"lz4"
+                ~bz:Bzimage.Standard ~rando:Vm_config.Rando_off ~profile () );
+            ( "direct",
+              direct_vm ws Config.Aws Config.Nokaslr ~rando:Vm_config.Rando_off
+                ~profile () );
+          ]
+      in
+      let bz = List.assoc "bzImage-lz4" totals in
+      let direct = List.assoc "direct" totals in
+      notes :=
+        Printf.sprintf "%s: direct %.0f%% faster than bzImage when cached"
+          profile.Profiles.name (pct bz direct)
+        :: !notes)
+    [ Profiles.firecracker; Profiles.qemu ];
+  {
+    id = "qemu";
+    title = "QEMU cross-check (§2.2): cached direct boot wins on both VMMs";
+    table;
+    notes = List.rev !notes;
+  }
+
+(* ---------- VM instantiation throughput (§5.2) ---------- *)
+
+let throughput ?(runs = 30) ws =
+  (* "there will be little effect on critical performance metrics such as
+     the number of VMs instantiated per second" for KASLR; "with FGKASLR
+     however, there is a larger tradeoff between an increase in security
+     and a decrease in throughput" — a multi-core host simulation over
+     sampled boot-time distributions *)
+  let cores = 4 in
+  let window_ms = 10_000. in
+  let table =
+    Imk_util.Table.create
+      ~headers:[ "scheme"; "mean boot ms"; "VMs/s (4 cores)"; "vs nokaslr" ]
+  in
+  let samples rando =
+    let variant = variant_of_rando rando in
+    Workspace.warm_all ws;
+    let make_vm =
+      direct_vm ws Config.Aws variant ~rando
+        ~kallsyms:
+          (if rando = Vm_config.Rando_fgkaslr then Vm_config.Kallsyms_deferred
+           else Vm_config.Kallsyms_eager)
+        ()
+    in
+    let boots = ref [] in
+    for i = 1 to runs do
+      let trace, _ =
+        Boot_runner.boot_once ~seed:(Int64.of_int (3000 + i))
+          ~cache:(Workspace.cache ws) (make_vm ~seed:(Int64.of_int (3000 + i)))
+      in
+      boots := Imk_util.Units.ns_to_ms (Imk_vclock.Trace.total trace) :: !boots
+    done;
+    Array.of_list !boots
+  in
+  (* greedy multi-core schedule: each core boots back to back, drawing
+     cyclically from the sampled distribution *)
+  let rate samples =
+    let completed = ref 0 in
+    for core = 0 to cores - 1 do
+      let t = ref 0. and i = ref core in
+      let n = Array.length samples in
+      while !t < window_ms do
+        t := !t +. samples.(!i mod n);
+        if !t <= window_ms then incr completed;
+        incr i
+      done
+    done;
+    float_of_int !completed /. (window_ms /. 1000.)
+  in
+  let schemes =
+    [ Vm_config.Rando_off; Vm_config.Rando_kaslr; Vm_config.Rando_fgkaslr ]
+  in
+  let rates =
+    List.map
+      (fun rando ->
+        let s = samples rando in
+        let mean = Imk_util.Stats.mean (Array.to_list s) in
+        (rando, mean, rate s))
+      schemes
+  in
+  let base_rate =
+    match rates with (_, _, r) :: _ -> r | [] -> assert false
+  in
+  List.iter
+    (fun (rando, mean, r) ->
+      Imk_util.Table.add_row table
+        [
+          rando_name rando;
+          msv mean;
+          Printf.sprintf "%.1f" r;
+          Printf.sprintf "%+.1f%%" (100. *. ((r /. base_rate) -. 1.));
+        ])
+    rates;
+  let kaslr_loss =
+    match rates with
+    | [ _; (_, _, rk); _ ] -> 100. *. (1. -. (rk /. base_rate))
+    | _ -> 0.
+  in
+  let fg_loss =
+    match rates with
+    | [ _; _; (_, _, rf) ] -> 100. *. (1. -. (rf /. base_rate))
+    | _ -> 0.
+  in
+  {
+    id = "throughput";
+    title = "VM instantiation throughput (§5.2, aws kernel, 4 host cores)";
+    table;
+    notes =
+      [
+        Printf.sprintf
+          "in-monitor KASLR costs %.1f%% of instantiation rate (paper: \
+           \"little effect\"); FGKASLR costs %.1f%% (paper: \"a larger \
+           tradeoff ... a decrease in throughput\")"
+          kaslr_loss fg_loss;
+      ];
+  }
+
+(* ---------- Security ---------- *)
+
+let security ws =
+  let table =
+    Imk_util.Table.create
+      ~headers:
+        [ "scheme"; "base slots"; "base bits"; "perm bits"; "leak exposes" ]
+  in
+  let b = Workspace.built ws Config.Aws Config.Kaslr in
+  let memsz =
+    Config.modeled_of_actual b.Image.config
+      (Imk_randomize.Loadelf.image_memsz b.Image.elf)
+  in
+  let modeled_fns =
+    Config.modeled_of_actual b.Image.config b.Image.config.Config.functions
+  in
+  let attack rando seed =
+    Workspace.warm_all ws;
+    let variant = variant_of_rando rando in
+    let vm = direct_vm ws Config.Aws variant ~rando () ~seed in
+    let _, result =
+      Boot_runner.boot_once ~jitter:false ~seed ~cache:(Workspace.cache ws) vm
+    in
+    let built = Workspace.built ws Config.Aws variant in
+    let rng = Imk_entropy.Prng.create ~seed in
+    let n = Array.length built.Image.fn_va in
+    let fracs =
+      List.init 10 (fun _ ->
+          let leaked_fn = Imk_entropy.Prng.next_int rng n in
+          (Imk_security.Attack.leak_and_locate ~mem:result.Vmm.mem
+             ~params:result.Vmm.params ~link_fn_va:built.Image.fn_va ~leaked_fn
+             ~scheme:(rando_name rando))
+            .Imk_security.Attack.gadgets_exposed_fraction)
+    in
+    Imk_util.Stats.mean fracs
+  in
+  let row report frac =
+    Imk_util.Table.add_row table
+      [
+        report.Imk_security.Entropy_analysis.scheme;
+        string_of_int report.Imk_security.Entropy_analysis.base_slots;
+        Printf.sprintf "%.1f" report.Imk_security.Entropy_analysis.base_bits;
+        Printf.sprintf "%.0f" report.Imk_security.Entropy_analysis.permutation_bits;
+        Printf.sprintf "%.1f%% of functions" (frac *. 100.);
+      ]
+  in
+  row Imk_security.Entropy_analysis.nokaslr (attack Vm_config.Rando_off 51L);
+  row
+    (Imk_security.Entropy_analysis.kaslr ~image_memsz:memsz)
+    (attack Vm_config.Rando_kaslr 52L);
+  row
+    (Imk_security.Entropy_analysis.fgkaslr ~image_memsz:memsz
+       ~functions:modeled_fns)
+    (attack Vm_config.Rando_fgkaslr 53L);
+  (* §4.3 entropy equivalence needs equiprobable slots: chi-square over
+     many draws *)
+  let offsets =
+    Imk_security.Uniformity.test_virtual_offsets ~image_memsz:memsz
+      ~draws:50_000 ~seed:99L
+  in
+  let perm =
+    Imk_security.Uniformity.test_permutation_positions ~sections:512
+      ~draws:50_000 ~seed:98L
+  in
+  {
+    id = "security";
+    title = "Security: entropy and the value of a single leak (§3.1/§4.3)";
+    table;
+    notes =
+      [
+        "one leak exposes the whole kernel under nokaslr/kaslr, one function under fgkaslr";
+        Printf.sprintf
+          "offset uniformity: chi2 = %.0f vs 1%%-level threshold %.0f over %d \
+           slots x %d draws -> %s"
+          offsets.Imk_security.Uniformity.statistic
+          offsets.Imk_security.Uniformity.threshold
+          offsets.Imk_security.Uniformity.slots
+          offsets.Imk_security.Uniformity.draws
+          (if offsets.Imk_security.Uniformity.uniform then "uniform"
+           else "BIASED");
+        Printf.sprintf
+          "shuffle-position uniformity: chi2 = %.0f vs threshold %.0f -> %s"
+          perm.Imk_security.Uniformity.statistic
+          perm.Imk_security.Uniformity.threshold
+          (if perm.Imk_security.Uniformity.uniform then "uniform" else "BIASED");
+      ];
+  }
+
+(* ---------- Ablations ---------- *)
+
+let ablation_kallsyms ?(runs = 20) ws =
+  let table =
+    Imk_util.Table.create
+      ~headers:[ "policy"; "boot ms"; "first-lookup ms"; "boot overhead vs deferred" ]
+  in
+  let boot policy =
+    Workspace.warm_all ws;
+    let make_vm =
+      direct_vm ws Config.Aws Config.Fgkaslr ~rando:Vm_config.Rando_fgkaslr
+        ~kallsyms:policy ()
+    in
+    Boot_runner.boot_many ~runs ~cache:(Workspace.cache ws) ~make_vm ()
+  in
+  let eager = boot Vm_config.Kallsyms_eager in
+  let deferred = boot Vm_config.Kallsyms_deferred in
+  (* time-to-first-lookup under the deferred policy *)
+  let first_lookup_ms =
+    Workspace.warm_all ws;
+    let vm =
+      direct_vm ws Config.Aws Config.Fgkaslr ~rando:Vm_config.Rando_fgkaslr
+        ~kallsyms:Vm_config.Kallsyms_deferred () ~seed:61L
+    in
+    let trace, result =
+      Boot_runner.boot_once ~jitter:false ~seed:61L ~cache:(Workspace.cache ws) vm
+    in
+    let ch = Imk_vclock.Charge.create trace Imk_vclock.Cost_model.default in
+    let before = Imk_vclock.Clock.now (Imk_vclock.Charge.clock ch) in
+    let state = Imk_guest.Kallsyms.create () in
+    let _ =
+      Imk_guest.Kallsyms.read_for_user state ch result.Vmm.mem result.Vmm.params
+        ~privileged:true ~index:0
+    in
+    Imk_util.Units.ns_to_ms
+      (Imk_vclock.Clock.now (Imk_vclock.Charge.clock ch) - before)
+  in
+  let e = msf eager.Boot_runner.total and d = msf deferred.Boot_runner.total in
+  Imk_util.Table.add_row table
+    [ "eager"; msv e; "0.0"; Printf.sprintf "+%.1f ms (+%.0f%%)" (e -. d) (pct e d) ];
+  Imk_util.Table.add_row table
+    [ "deferred"; msv d; msv first_lookup_ms; "baseline" ];
+  {
+    id = "ablation-kallsyms";
+    title = "Ablation: eager vs deferred kallsyms fixup (§4.3)";
+    table;
+    notes =
+      [
+        Printf.sprintf
+          "eager fixup adds %.0f%% to fgkaslr boot (paper: kallsyms ≈ 22%% of boot); \
+           deferred pays %.1f ms at first /proc/kallsyms access"
+          (pct e d) first_lookup_ms;
+      ];
+  }
+
+let ablation_orc ?(runs = 20) ws =
+  (* a special ORC-enabled fgkaslr build *)
+  let base = Workspace.config ws Config.Aws Config.Fgkaslr in
+  let cfg = { base with Config.unwinder_orc = true; name = "aws-fgkaslr-orc" } in
+  let built = Image.build cfg in
+  let disk = Workspace.disk ws in
+  Imk_storage.Disk.add disk ~name:"aws-fgkaslr-orc.vmlinux" built.Image.vmlinux;
+  Imk_storage.Disk.add disk ~name:"aws-fgkaslr-orc.relocs" built.Image.relocs_bytes;
+  let boot orc =
+    Workspace.warm_all ws;
+    Imk_storage.Page_cache.warm (Workspace.cache ws) "aws-fgkaslr-orc.vmlinux";
+    Imk_storage.Page_cache.warm (Workspace.cache ws) "aws-fgkaslr-orc.relocs";
+    let make_vm ~seed =
+      Vm_config.make ~rando:Vm_config.Rando_fgkaslr
+        ~relocs_path:(Some "aws-fgkaslr-orc.relocs") ~orc
+        ~kernel_path:"aws-fgkaslr-orc.vmlinux" ~kernel_config:cfg ~seed ()
+    in
+    Boot_runner.boot_many ~runs ~cache:(Workspace.cache ws) ~make_vm ()
+  in
+  let skip = boot Vm_config.Orc_skip in
+  let update = boot Vm_config.Orc_update in
+  let s = msf skip.Boot_runner.total and u = msf update.Boot_runner.total in
+  let table = Imk_util.Table.create ~headers:[ "orc policy"; "boot ms" ] in
+  Imk_util.Table.add_row table [ "skip (paper's choice)"; msv s ];
+  Imk_util.Table.add_row table [ "update"; msv u ];
+  {
+    id = "ablation-orc";
+    title = "Ablation: ORC unwind table update cost (§4.3)";
+    table;
+    notes =
+      [ Printf.sprintf "updating ORC would add %.1f ms (+%.1f%%)" (u -. s) (pct u s) ];
+  }
+
+let ablation_page_sharing ws =
+  let boot seed =
+    Workspace.warm_all ws;
+    let vm =
+      direct_vm ws Config.Aws Config.Fgkaslr ~rando:Vm_config.Rando_fgkaslr ()
+        ~seed
+    in
+    let _, r = Boot_runner.boot_once ~jitter:false ~seed ~cache:(Workspace.cache ws) vm in
+    r
+  in
+  (* KSM-style content-based sharing over the pages that hold each
+     guest's kernel image (location-independent, zero pages excluded by
+     construction since the span covers the loaded image) *)
+  let zero_hash = Imk_util.Crc.crc32 (Bytes.make 4096 '\000') 0 4096 in
+  let page_hash_list r =
+    let mem = Imk_memory.Guest_mem.raw r.Vmm.mem in
+    let page = 4096 in
+    let lo = r.Vmm.params.Imk_guest.Boot_params.phys_load in
+    let hi = min (Bytes.length mem) (lo + (8 * 1024 * 1024)) in
+    let hashes = ref [] in
+    let off = ref lo in
+    while !off + page <= hi do
+      let h = Imk_util.Crc.crc32 mem !off page in
+      (* all-zero pages merge trivially and say nothing about layouts *)
+      if h <> zero_hash then hashes := h :: !hashes;
+      off := !off + page
+    done;
+    !hashes
+  in
+  let identical_pages a b =
+    let ha = page_hash_list a in
+    let hb = Hashtbl.create 1024 in
+    List.iter (fun h -> Hashtbl.replace hb h ()) (page_hash_list b);
+    let shared = List.length (List.filter (Hashtbl.mem hb) ha) in
+    float_of_int shared /. float_of_int (max 1 (List.length ha)) *. 100.
+  in
+  let a = boot 71L and b = boot 71L and c = boot 72L in
+  let table =
+    Imk_util.Table.create ~headers:[ "pairing"; "identical guest pages" ]
+  in
+  Imk_util.Table.add_row table
+    [ "same seed (host-grouped VMs)"; Printf.sprintf "%.1f%%" (identical_pages a b) ];
+  Imk_util.Table.add_row table
+    [ "different seeds"; Printf.sprintf "%.1f%%" (identical_pages a c) ];
+  {
+    id = "ablation-page-sharing";
+    title = "Ablation: memory density under FGKASLR (§6)";
+    table;
+    notes =
+      [
+        "in-monitor randomization lets the host pick a shared seed for \
+         related VMs, restoring page-merging that fine-grained \
+         randomization otherwise nullifies";
+      ];
+  }
+
+let ablation_rerando ?(runs = 20) ws =
+  (* a 40 ms serverless function invocation under three platform
+     policies: persistent VM (boot once, same layout forever),
+     reboot-per-invocation with in-monitor KASLR, and
+     reboot-per-invocation with self-randomizing bzImage boot *)
+  let invocation_ms = 40. in
+  let table =
+    Imk_util.Table.create
+      ~headers:
+        [ "policy"; "boot ms"; "invocations/s"; "layouts per 100 invocations" ]
+  in
+  let measure name make_vm ~reboot =
+    Workspace.warm_all ws;
+    let s = Boot_runner.boot_many ~runs ~cache:(Workspace.cache ws) ~make_vm () in
+    let boot_ms = msf s.Boot_runner.total in
+    let per_invocation =
+      if reboot then boot_ms +. invocation_ms else invocation_ms
+    in
+    let layouts = if reboot then 100 else 1 in
+    Imk_util.Table.add_row table
+      [
+        name;
+        msv boot_ms;
+        Printf.sprintf "%.1f" (1000. /. per_invocation);
+        string_of_int layouts;
+      ];
+    1000. /. per_invocation
+  in
+  let in_monitor =
+    direct_vm ws Config.Aws Config.Kaslr ~rando:Vm_config.Rando_kaslr ()
+  in
+  let self_rando =
+    bz_vm ws Config.Aws Config.Kaslr ~codec:"none" ~bz:Bzimage.None_optimized
+      ~rando:Vm_config.Rando_kaslr ()
+  in
+  let persistent = measure "persistent VM (SAND-style)" in_monitor ~reboot:false in
+  let inm = measure "reboot + in-monitor KASLR" in_monitor ~reboot:true in
+  let self = measure "reboot + self-rando bzImage" self_rando ~reboot:true in
+  {
+    id = "ablation-rerando";
+    title = "Ablation: re-randomization between invocations (§7)";
+    table;
+    notes =
+      [
+        Printf.sprintf
+          "fresh randomization every invocation costs %.0f%% of persistent-VM \
+           throughput with in-monitor KASLR (%.0f%% with self-rando) — the \
+           opportunity SAND-style reuse forgoes"
+          (100. *. (1. -. (inm /. persistent)))
+          (100. *. (1. -. (self /. persistent)));
+      ];
+  }
+
+let ablation_devices ?(runs = 20) ws =
+  (* a fuller microVM: serial console, rootfs block device, network —
+     the devices a Lambda-style instance actually attaches. Off in the
+     paper-calibrated experiments; here we measure what they add, and how
+     a QEMU-style device model amplifies the monitor's share. *)
+  let rootfs = Imk_kernel.Rootfs.make ~size:(512 * 1024) ~seed:77L in
+  Imk_storage.Disk.add (Workspace.disk ws) ~name:"rootfs.img" rootfs;
+  let table =
+    Imk_util.Table.create
+      ~headers:[ "vmm"; "devices"; "in-monitor"; "linux"; "total ms" ]
+  in
+  let boot profile devices label =
+    Workspace.warm_all ws;
+    let make_vm ~seed =
+      Vm_config.make ~profile ~rando:Vm_config.Rando_kaslr
+        ~relocs_path:(Some (Workspace.relocs_path ws Config.Aws Config.Kaslr))
+        ~devices
+        ~kernel_path:(Workspace.vmlinux_path ws Config.Aws Config.Kaslr)
+        ~kernel_config:(Workspace.config ws Config.Aws Config.Kaslr)
+        ~seed ()
+    in
+    let s = Boot_runner.boot_many ~runs ~cache:(Workspace.cache ws) ~make_vm () in
+    Imk_util.Table.add_row table
+      [
+        profile.Profiles.name;
+        label;
+        msv (msf s.Boot_runner.in_monitor);
+        msv (msf s.Boot_runner.linux_boot);
+        msv (msf s.Boot_runner.total);
+      ];
+    msf s.Boot_runner.total
+  in
+  let full =
+    [
+      Devices.Serial;
+      Devices.Virtio_blk { image = "rootfs.img" };
+      Devices.Virtio_net;
+    ]
+  in
+  let fc_none = boot Profiles.firecracker [] "none" in
+  let fc_full = boot Profiles.firecracker full "serial+blk+net" in
+  let _ = boot Profiles.qemu full "serial+blk+net" in
+  {
+    id = "ablation-devices";
+    title = "Ablation: the device model's share of a microVM boot";
+    table;
+    notes =
+      [
+        Printf.sprintf
+          "a Lambda-style device set adds %.1f ms on Firecracker's minimal \
+           device model (rootfs superblock read included); the same set \
+           under a QEMU-style model shows why lightweight monitors keep \
+           In-Monitor small (§2.1)"
+          (fc_full -. fc_none);
+      ];
+  }
+
+let ablation_unikernel ?(runs = 20) ws =
+  (* §6: unikernels cannot self-randomize (no bootstrap loader exists);
+     the monitor is the only possible randomizing principal — and at
+     unikernel scale, whole-system function-granular ASLR costs almost
+     nothing *)
+  let disk = Workspace.disk ws in
+  let register (b : Image.built) =
+    let base = b.Image.config.Config.name in
+    Imk_storage.Disk.add disk ~name:(base ^ ".bin") b.Image.vmlinux;
+    if b.Image.config.Config.relocatable then
+      Imk_storage.Disk.add disk ~name:(base ^ ".relocs") b.Image.relocs_bytes;
+    base
+  in
+  let plain = register (Unikernel.build ~aslr:false ()) in
+  let rando_build = Unikernel.build ~aslr:true () in
+  let rando = register rando_build in
+  let table =
+    Imk_util.Table.create
+      ~headers:[ "configuration"; "boot ms"; "min"; "max"; "distinct layouts/20" ]
+  in
+  let boot name ~kernel ~rando:mode ~relocs =
+    Workspace.warm_all ws;
+    let cfg = Unikernel.config ~aslr:(mode <> Vm_config.Rando_off) () in
+    let make_vm ~seed =
+      Vm_config.make ~profile:Profiles.solo5 ~rando:mode
+        ~relocs_path:relocs ~mem_bytes:(64 * 1024 * 1024)
+        ~kernel_path:kernel ~kernel_config:{ cfg with Config.name = cfg.Config.name }
+        ~seed ()
+    in
+    let s = Boot_runner.boot_many ~runs ~cache:(Workspace.cache ws) ~make_vm () in
+    (* layout diversity across instances *)
+    let bases = Hashtbl.create 32 in
+    for i = 1 to 20 do
+      let _, r =
+        Boot_runner.boot_once ~jitter:false ~seed:(Int64.of_int (50 + i))
+          ~cache:(Workspace.cache ws) (make_vm ~seed:(Int64.of_int (50 + i)))
+      in
+      Hashtbl.replace bases r.Vmm.params.Imk_guest.Boot_params.virt_base ()
+    done;
+    Imk_util.Table.add_row table
+      [
+        name;
+        msv (msf s.Boot_runner.total);
+        msv (Imk_util.Units.ns_to_ms (int_of_float s.Boot_runner.total.Imk_util.Stats.min));
+        msv (Imk_util.Units.ns_to_ms (int_of_float s.Boot_runner.total.Imk_util.Stats.max));
+        string_of_int (Hashtbl.length bases);
+      ];
+    msf s.Boot_runner.total
+  in
+  let base_ms =
+    boot "unikernel, no ASLR (today)" ~kernel:(plain ^ ".bin")
+      ~rando:Vm_config.Rando_off ~relocs:None
+  in
+  let aslr_ms =
+    boot "unikernel + in-monitor whole-system FGASLR"
+      ~kernel:(rando ^ ".bin") ~rando:Vm_config.Rando_fgkaslr
+      ~relocs:(Some (rando ^ ".relocs"))
+  in
+  {
+    id = "ablation-unikernel";
+    title = "Ablation: in-monitor ASLR for unikernels (§6)";
+    table;
+    notes =
+      [
+        Printf.sprintf
+          "whole-system function-granular ASLR costs +%.2f ms on a %.1f ms \
+           unikernel boot; with no bootstrap loader, the monitor is the \
+           only principal that can randomize at all"
+          (aslr_ms -. base_ms) base_ms;
+      ];
+  }
+
+let ablation_zygote ?(runs = 10) ws =
+  ignore runs;
+  (* instance-creation strategies for a serverless host (§7):
+     fresh boot with in-monitor KASLR vs single-snapshot restore vs a
+     Morula-style pool of pre-randomized zygotes *)
+  let table =
+    Imk_util.Table.create
+      ~headers:
+        [ "strategy"; "create ms"; "distinct layouts"; "resident memory" ]
+  in
+  Workspace.warm_all ws;
+  let make_vm ~seed =
+    direct_vm ws Config.Aws Config.Kaslr ~rando:Vm_config.Rando_kaslr
+      ~mem:(64 * 1024 * 1024) () ~seed
+  in
+  let working_set_pages = 2048 (* 8 MiB touched before first request *) in
+  (* fresh boots *)
+  let fresh =
+    Boot_runner.boot_many ~runs:10 ~cache:(Workspace.cache ws) ~make_vm ()
+  in
+  let fresh_ms = msf fresh.Boot_runner.total in
+  Imk_util.Table.add_row table
+    [ "fresh boot (in-monitor KASLR)"; msv fresh_ms; "per-instance"; "0" ];
+  (* single snapshot *)
+  let charge () =
+    let trace = Imk_vclock.Trace.create (Imk_vclock.Clock.create ()) in
+    Imk_vclock.Charge.create trace Imk_vclock.Cost_model.default
+  in
+  let ch = charge () in
+  let base = Vmm.boot ch (Workspace.cache ws) (make_vm ~seed:404L) in
+  let snap = Snapshot.capture base in
+  let restore_ms =
+    let ch = charge () in
+    let t0 = Imk_vclock.Clock.now (Imk_vclock.Charge.clock ch) in
+    let _ = Snapshot.restore ch snap ~working_set_pages in
+    Imk_util.Units.ns_to_ms (Imk_vclock.Clock.now (Imk_vclock.Charge.clock ch) - t0)
+  in
+  Imk_util.Table.add_row table
+    [
+      "single snapshot restore";
+      msv restore_ms;
+      "1 (cloned)";
+      Imk_util.Units.bytes_to_string (Snapshot.encoded_bytes snap);
+    ];
+  (* Morula pool *)
+  let pool_size = 8 in
+  let pool =
+    Zygote.build (charge ()) (Workspace.cache ws) ~make_vm ~size:pool_size
+  in
+  let draw_ms =
+    let ch = charge () in
+    let rng = Imk_entropy.Prng.create ~seed:11L in
+    let t0 = Imk_vclock.Clock.now (Imk_vclock.Charge.clock ch) in
+    let r = Zygote.draw ch pool ~rng ~working_set_pages in
+    ignore r.Vmm.stats;
+    Imk_util.Units.ns_to_ms (Imk_vclock.Clock.now (Imk_vclock.Charge.clock ch) - t0)
+  in
+  Imk_util.Table.add_row table
+    [
+      Printf.sprintf "Morula pool of %d zygotes" pool_size;
+      msv draw_ms;
+      string_of_int (Zygote.distinct_layouts pool);
+      Imk_util.Units.bytes_to_string (Zygote.memory_bytes pool);
+    ];
+  {
+    id = "ablation-zygote";
+    title = "Ablation: snapshots and zygote pools vs randomized boots (§7)";
+    table;
+    notes =
+      [
+        Printf.sprintf
+          "restores are %.0fx faster than boots but clone one layout; a \
+           Morula pool restores diversity at %s of resident memory — \
+           in-monitor KASLR shrinks the gap the pool exists to bridge"
+          (fresh_ms /. restore_ms)
+          (Imk_util.Units.bytes_to_string (Zygote.memory_bytes pool));
+      ];
+  }
+
+let all_ids =
+  [
+    "table1"; "fig3"; "fig4"; "fig5"; "fig6"; "fig9"; "fig10"; "fig11";
+    "qemu"; "throughput"; "security"; "ablation-kallsyms"; "ablation-orc";
+    "ablation-page-sharing"; "ablation-rerando"; "ablation-zygote";
+    "ablation-unikernel"; "ablation-devices";
+  ]
+
+let by_id = function
+  | "table1" -> Some (fun ?runs ws -> ignore runs; table1 ws)
+  | "fig3" -> Some (fun ?runs ws -> fig3 ?runs ws)
+  | "fig4" -> Some (fun ?runs ws -> fig4 ?runs ws)
+  | "fig5" -> Some (fun ?runs ws -> fig5 ?runs ws)
+  | "fig6" -> Some (fun ?runs ws -> fig6 ?runs ws)
+  | "fig9" -> Some (fun ?runs ws -> fig9 ?runs ws)
+  | "fig10" -> Some (fun ?runs ws -> fig10 ?runs ws)
+  | "fig11" -> Some (fun ?runs ws -> fig11 ?runs ws)
+  | "qemu" -> Some (fun ?runs ws -> qemu_check ?runs ws)
+  | "throughput" -> Some (fun ?runs ws -> throughput ?runs ws)
+  | "security" -> Some (fun ?runs ws -> ignore runs; security ws)
+  | "ablation-kallsyms" -> Some (fun ?runs ws -> ablation_kallsyms ?runs ws)
+  | "ablation-orc" -> Some (fun ?runs ws -> ablation_orc ?runs ws)
+  | "ablation-page-sharing" ->
+      Some (fun ?runs ws -> ignore runs; ablation_page_sharing ws)
+  | "ablation-rerando" -> Some (fun ?runs ws -> ablation_rerando ?runs ws)
+  | "ablation-zygote" -> Some (fun ?runs ws -> ablation_zygote ?runs ws)
+  | "ablation-unikernel" -> Some (fun ?runs ws -> ablation_unikernel ?runs ws)
+  | "ablation-devices" -> Some (fun ?runs ws -> ablation_devices ?runs ws)
+  | _ -> None
+
+let all ?runs ws =
+  List.map
+    (fun id ->
+      match by_id id with
+      | Some f -> f ?runs ws
+      | None -> assert false)
+    all_ids

@@ -1,0 +1,89 @@
+(** Experiment drivers — one per table/figure of the paper.
+
+    Each returns an {!output}: a rendered table plus claim-check notes
+    (the "who wins, by what factor" assertions EXPERIMENTS.md records).
+    [runs] defaults to 20 per configuration; the paper used 100, and
+    [bench/main.exe --runs 100] reproduces that. *)
+
+type output = {
+  id : string;  (** "table1", "fig3", ... *)
+  title : string;
+  table : Imk_util.Table.t;
+  notes : string list;  (** derived claims, paper-vs-measured *)
+}
+
+val table1 : Workspace.t -> output
+(** Kernel image sizes (modelled): vmlinux, bzImage none/LZ4, relocs. *)
+
+val fig3 : ?runs:int -> Workspace.t -> output
+(** Compression bakeoff: boot time per codec; LZ4 must win. *)
+
+val fig4 : ?runs:int -> Workspace.t -> output
+(** Cold vs warm cache: bzImage(LZ4) vs direct boot, three kernels. *)
+
+val fig5 : ?runs:int -> Workspace.t -> output
+(** Bootstrap loader step breakdown; decompression dominates. *)
+
+val fig6 : ?runs:int -> Workspace.t -> output
+(** Bootstrap methods: none / LZ4 / none-optimized / direct. *)
+
+val fig9 : ?runs:int -> Workspace.t -> output
+(** Main evaluation: {nokaslr,kaslr,fgkaslr} × {in-monitor direct,
+    none-optimized self-rando, LZ4 self-rando} × three kernels. *)
+
+val fig10 : ?runs:int -> Workspace.t -> output
+(** Guest memory sweep: monitor time flat, Linux boot linear. *)
+
+val fig11 : ?runs:int -> Workspace.t -> output
+(** LEBench normalized to the nokaslr baseline. *)
+
+val qemu_check : ?runs:int -> Workspace.t -> output
+(** §2.2/§5.2 cross-check under the QEMU cost profile. *)
+
+val throughput : ?runs:int -> Workspace.t -> output
+(** §5.2's platform metric: VMs instantiated per second on a multi-core
+    host, per randomization scheme. *)
+
+val security : Workspace.t -> output
+(** Entropy accounting + the leak-and-locate attack. *)
+
+val ablation_kallsyms : ?runs:int -> Workspace.t -> output
+(** Eager vs deferred kallsyms fixup (§4.3: eager ≈ 22% of boot). *)
+
+val ablation_orc : ?runs:int -> Workspace.t -> output
+(** ORC table update vs skip, on an ORC-enabled kernel build. *)
+
+val ablation_page_sharing : Workspace.t -> output
+(** §6 memory density: identical-page fraction between two guests under
+    shared vs distinct randomization seeds. *)
+
+val ablation_devices : ?runs:int -> Workspace.t -> output
+(** What a Lambda-style device set (serial, virtio-blk rootfs,
+    virtio-net) adds to a boot, on Firecracker's minimal device model vs
+    a QEMU-style one (§2.1). *)
+
+val ablation_unikernel : ?runs:int -> Workspace.t -> output
+(** §6: unikernels have no bootstrap loader, so only the monitor can
+    randomize them; whole-system FGASLR at unikernel scale costs
+    almost nothing. *)
+
+val ablation_zygote : ?runs:int -> Workspace.t -> output
+(** §7: snapshot restores and Morula-style zygote pools vs fresh
+    randomized boots — create latency, layout diversity, resident
+    memory. *)
+
+val ablation_rerando : ?runs:int -> Workspace.t -> output
+(** §7: SAND-style persistent VMs amortize boot cost but freeze the
+    layout across invocations; in-monitor KASLR makes
+    reboot-per-invocation re-randomization cheap. Reports invocations/sec
+    and distinct layouts per policy. *)
+
+val all_ids : string list
+(** Every experiment id, in paper order. *)
+
+val all : ?runs:int -> Workspace.t -> output list
+(** Every experiment, in paper order. Prefer iterating {!all_ids} with
+    {!by_id} when streaming results as they complete. *)
+
+val by_id : string -> (?runs:int -> Workspace.t -> output) option
+(** Look an experiment up by its id (for the CLI). *)

@@ -1,0 +1,72 @@
+open Imk_kernel
+
+type t = {
+  disk : Imk_storage.Disk.t;
+  cache : Imk_storage.Page_cache.t;
+  scale : int;
+  functions_override : int option;
+  builds : (string, Image.built) Hashtbl.t;
+  bzimages : (string, unit) Hashtbl.t;
+}
+
+let create ?(scale = 16) ?functions_override () =
+  let disk = Imk_storage.Disk.create () in
+  {
+    disk;
+    cache = Imk_storage.Page_cache.create disk;
+    scale;
+    functions_override;
+    builds = Hashtbl.create 16;
+    bzimages = Hashtbl.create 16;
+  }
+
+let disk t = t.disk
+let cache t = t.cache
+
+let config t preset variant =
+  let base = Config.make ~scale:t.scale preset variant in
+  match t.functions_override with
+  | None -> base
+  | Some functions -> { base with Config.functions }
+
+let key preset variant =
+  Config.preset_name preset ^ "-" ^ Config.variant_name variant
+
+let built t preset variant =
+  let k = key preset variant in
+  match Hashtbl.find_opt t.builds k with
+  | Some b -> b
+  | None ->
+      let b = Image.build (config t preset variant) in
+      Hashtbl.add t.builds k b;
+      Imk_storage.Disk.add t.disk ~name:(k ^ ".vmlinux") b.Image.vmlinux;
+      Imk_storage.Disk.add t.disk ~name:(k ^ ".relocs") b.Image.relocs_bytes;
+      b
+
+(* path accessors build on demand so a path is always backed by a disk
+   image *)
+let vmlinux_path t preset variant =
+  ignore (built t preset variant);
+  key preset variant ^ ".vmlinux"
+
+let relocs_path t preset variant =
+  ignore (built t preset variant);
+  key preset variant ^ ".relocs"
+
+let bzimage_path t preset variant ~codec ~bz =
+  let name =
+    Printf.sprintf "%s.bzimage-%s-%s" (key preset variant) codec
+      (Bzimage.variant_name bz)
+  in
+  if not (Hashtbl.mem t.bzimages name) then begin
+    let b = built t preset variant in
+    let image = Bzimage.link b ~codec ~variant:bz in
+    Imk_storage.Disk.add t.disk ~name (Bzimage.encode image);
+    Hashtbl.add t.bzimages name ()
+  end;
+  name
+
+let warm_all t =
+  List.iter
+    (fun name -> Imk_storage.Page_cache.warm t.cache name)
+    (Imk_storage.Disk.names t.disk)

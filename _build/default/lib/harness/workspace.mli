@@ -1,0 +1,37 @@
+(** Experiment workspace: kernels built once, images on a simulated disk.
+
+    Builds the Table 1 kernel matrix lazily (an `ubuntu-fgkaslr` image
+    with its six compressed bzImage variants is only assembled when an
+    experiment asks for it) and registers every artifact with the
+    simulated host disk, where boots read them through the page cache. *)
+
+type t
+
+val create : ?scale:int -> ?functions_override:int -> unit -> t
+(** [create ()] uses the full preset sizes; [functions_override] shrinks
+    every kernel (tests use a few hundred functions for speed). *)
+
+val disk : t -> Imk_storage.Disk.t
+val cache : t -> Imk_storage.Page_cache.t
+
+val config : t -> Imk_kernel.Config.preset -> Imk_kernel.Config.variant -> Imk_kernel.Config.t
+
+val built :
+  t -> Imk_kernel.Config.preset -> Imk_kernel.Config.variant -> Imk_kernel.Image.built
+(** Build (or fetch the cached) kernel image; also registers
+    [<name>.vmlinux] and [<name>.relocs] on the disk. *)
+
+val vmlinux_path : t -> Imk_kernel.Config.preset -> Imk_kernel.Config.variant -> string
+val relocs_path : t -> Imk_kernel.Config.preset -> Imk_kernel.Config.variant -> string
+
+val bzimage_path :
+  t ->
+  Imk_kernel.Config.preset ->
+  Imk_kernel.Config.variant ->
+  codec:string ->
+  bz:Imk_kernel.Bzimage.variant ->
+  string
+(** Link (or fetch) the bzImage variant and return its disk name. *)
+
+val warm_all : t -> unit
+(** Mark every registered image cached (the five warm-up boots). *)

@@ -1,0 +1,1 @@
+lib/kernel/bzimage.ml: Byteio Bytes Char Config Image Imk_compress Imk_elf Imk_entropy Imk_memory Imk_util Printf String

@@ -1,0 +1,1 @@
+lib/kernel/bzimage.mli: Image

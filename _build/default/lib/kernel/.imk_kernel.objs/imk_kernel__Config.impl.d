@@ -1,0 +1,1 @@
+lib/kernel/config.ml: Imk_util Int64 List

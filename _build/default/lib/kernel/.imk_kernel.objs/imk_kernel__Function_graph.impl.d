@@ -1,0 +1,1 @@
+lib/kernel/function_graph.ml: Array Config Imk_elf Imk_entropy Imk_memory Int64

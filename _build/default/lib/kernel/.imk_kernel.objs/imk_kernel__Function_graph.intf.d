@@ -1,0 +1,1 @@
+lib/kernel/function_graph.mli: Config Imk_elf

@@ -1,0 +1,1 @@
+lib/kernel/image.ml: Array Byteio Bytes Char Config Function_graph Imk_elf Imk_entropy Imk_memory Imk_util Int64 List Printf

@@ -1,0 +1,1 @@
+lib/kernel/image.mli: Config Function_graph Imk_elf

@@ -1,0 +1,1 @@
+lib/kernel/initrd.ml: Byteio Bytes Char Crc Imk_entropy Imk_memory Imk_util

@@ -1,0 +1,1 @@
+lib/kernel/initrd.mli: Imk_memory

@@ -1,0 +1,1 @@
+lib/kernel/relocs_tool.ml: Array Byteio Bytes Function_graph Image Imk_elf Imk_util List Printf

@@ -1,0 +1,1 @@
+lib/kernel/relocs_tool.mli: Imk_elf

@@ -1,0 +1,1 @@
+lib/kernel/rootfs.ml: Byteio Bytes Char Crc Imk_entropy Imk_util

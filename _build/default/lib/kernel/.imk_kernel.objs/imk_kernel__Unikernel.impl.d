@@ -1,0 +1,1 @@
+lib/kernel/unikernel.ml: Config Image Imk_util Int64 Option

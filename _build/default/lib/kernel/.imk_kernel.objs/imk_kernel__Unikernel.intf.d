@@ -1,0 +1,1 @@
+lib/kernel/unikernel.mli: Config Image

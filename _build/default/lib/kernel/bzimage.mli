@@ -1,0 +1,59 @@
+(** The bzImage container: bootstrap loader + (optionally compressed)
+    kernel + relocation info.
+
+    Mirrors the paper's Figure 2: a bzImage concatenates a small bootstrap
+    loader program with a compressed blob holding the kernel ELF and its
+    relocation table. Two link variants reproduce §3.3:
+
+    - {!Standard}: the payload is compressed with a chosen codec (the
+      paper's bzImage experiments use the six schemes of Figure 3; "none"
+      gives the unoptimized compression-none kernel, which must still be
+      copied to its run location).
+    - {!None_optimized}: the payload is stored uncompressed and the image
+      is padded so the embedded kernel lands already aligned to
+      MIN_KERNEL_ALIGN at its run address — eliminating both the
+      copy-out-of-the-way and the decompression copy.  *)
+
+exception Malformed of string
+
+type variant = Standard | None_optimized
+
+val variant_name : variant -> string
+
+type t = {
+  variant : variant;
+  codec : string;
+  kernel_name : string;
+  entry : int;  (** link-time entry VA of the embedded kernel *)
+  stub : bytes;  (** the bootstrap loader program *)
+  payload : bytes;  (** framed codec output of [vmlinux ‖ relocs] *)
+  vmlinux_len : int;  (** uncompressed kernel ELF length *)
+  relocs_len : int;  (** uncompressed relocation table length *)
+}
+
+val stub_bytes : int
+(** Size of the simulated bootstrap loader program (64 KiB). *)
+
+val link : Image.built -> codec:string -> variant:variant -> t
+(** [link built ~codec ~variant] packs a built kernel into a bzImage.
+    [None_optimized] requires [codec = "none"]; raises
+    [Invalid_argument] otherwise. *)
+
+val encode : t -> bytes
+(** [encode t] serializes: header, stub, (alignment padding for
+    {!None_optimized}), payload. *)
+
+val decode : bytes -> t
+(** [decode b] parses {!encode}'s output; raises {!Malformed} on bad
+    magic or truncation. *)
+
+val payload_file_offset : t -> int
+(** [payload_file_offset t] is where the payload starts in the encoded
+    image — what a monitor needs to place the embedded kernel at an
+    aligned physical address for the optimized variant. *)
+
+val unpack_payload : t -> bytes * bytes
+(** [unpack_payload t] decompresses (when applicable) and splits the
+    payload into [(vmlinux, relocs)]. This is the {e data} transformation;
+    decompression {e time} is charged by the bootstrap loader simulation.
+    Raises [Imk_compress.Codec.Corrupt] on a damaged payload. *)

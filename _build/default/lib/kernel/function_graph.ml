@@ -1,0 +1,74 @@
+type site = { target : int; kind : Imk_elf.Relocation.kind }
+
+type fn = { id : int; body_bytes : int; sites : site array }
+
+type extab_entry = { fault_fn : int; fault_off : int; handler_fn : int }
+
+type t = {
+  fns : fn array;
+  rodata_targets : int array;
+  extab : extab_entry array;
+}
+
+let fn_header_bytes = 24
+let site_bytes = 16
+
+let fn_size f =
+  Imk_memory.Addr.align_up
+    (fn_header_bytes + (Array.length f.sites * site_bytes) + f.body_bytes)
+    16
+
+let fn_magic id =
+  (* splitmix-style mix of the id; force odd and nonzero so a magic can
+     never be mistaken for padding *)
+  let z = Int64.of_int (id + 0x1234567) in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL in
+  let v = Int64.to_int (Int64.shift_right_logical z 2) in
+  v lor 1
+
+let pick_kind rng =
+  (* roughly vmlinux.relocs proportions: mostly 32-bit absolute *)
+  let r = Imk_entropy.Prng.next_int rng 100 in
+  if r < 70 then Imk_elf.Relocation.Abs32
+  else if r < 94 then Imk_elf.Relocation.Abs64
+  else Imk_elf.Relocation.Inv32
+
+let generate (config : Config.t) =
+  let rng = Imk_entropy.Prng.create ~seed:config.seed in
+  let n = config.functions in
+  if n < 2 then invalid_arg "Function_graph.generate: need at least 2 functions";
+  let fns =
+    Array.init n (fun id ->
+        let extra_sites =
+          Imk_entropy.Prng.next_int rng (max 1 ((config.avg_call_sites - 1) * 2 + 1))
+        in
+        (* the ring edge keeps the graph strongly connected *)
+        let ring = { target = (id + 1) mod n; kind = pick_kind rng } in
+        let others =
+          Array.init extra_sites (fun _ ->
+              { target = Imk_entropy.Prng.next_int rng n; kind = pick_kind rng })
+        in
+        let body_bytes =
+          let avg = config.avg_fn_body in
+          max 0 (avg / 2 + Imk_entropy.Prng.next_int rng (max 1 avg))
+        in
+        { id; body_bytes; sites = Array.append [| ring |] others })
+  in
+  let rodata_targets =
+    Array.init config.rodata_ptrs (fun _ -> Imk_entropy.Prng.next_int rng n)
+  in
+  let extab =
+    Array.init config.extab_entries (fun _ ->
+        let fault_fn = Imk_entropy.Prng.next_int rng n in
+        let f = fns.(fault_fn) in
+        let span = fn_size f in
+        (* fault IP inside the function, past the header *)
+        let fault_off =
+          fn_header_bytes + Imk_entropy.Prng.next_int rng (max 1 (span - fn_header_bytes))
+        in
+        { fault_fn; fault_off; handler_fn = Imk_entropy.Prng.next_int rng n })
+  in
+  { fns; rodata_targets; extab }
+
+let total_text_bytes t = Array.fold_left (fun acc f -> acc + fn_size f) 0 t.fns

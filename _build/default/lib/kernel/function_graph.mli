@@ -1,0 +1,52 @@
+(** Synthetic kernel call graph.
+
+    The ground truth behind a synthetic kernel image: a set of functions,
+    each with a deterministic size and a list of call sites referencing
+    other functions through one of the three relocation kinds of §3.2.
+    The graph is strongly connected by construction (function [i] always
+    calls [(i+1) mod n]), so a breadth-first walk from the entry function
+    visits every function — which is what lets the guest runtime verify
+    {e every} relocation site after randomization. *)
+
+type site = { target : int; kind : Imk_elf.Relocation.kind }
+
+type fn = {
+  id : int;
+  body_bytes : int;  (** filler bytes after the header and sites *)
+  sites : site array;
+}
+
+type extab_entry = {
+  fault_fn : int;
+  fault_off : int;  (** offset of the faulting IP inside [fault_fn] *)
+  handler_fn : int;
+}
+
+type t = {
+  fns : fn array;
+  rodata_targets : int array;  (** function ids in the .rodata pointer table *)
+  extab : extab_entry array;
+}
+
+val generate : Config.t -> t
+(** [generate config] builds the graph deterministically from
+    [config.seed]. Site kinds are distributed roughly as in a real
+    vmlinux.relocs: most 32-bit absolute, some 64-bit, a few inverse. *)
+
+val fn_header_bytes : int
+(** Bytes of the per-function header (magic + id + site count + encoded
+    size). *)
+
+val site_bytes : int
+(** Bytes per call-site record. *)
+
+val fn_size : fn -> int
+(** [fn_size f] is the total encoded size of the function, 16-aligned. *)
+
+val fn_magic : int -> int
+(** [fn_magic id] is the 64-bit magic value at the start of function [id]
+    — how the guest runtime recognizes that a pointer landed on the right
+    function. Always odd, never zero. *)
+
+val total_text_bytes : t -> int
+(** Sum of all function sizes (the .text payload before alignment). *)

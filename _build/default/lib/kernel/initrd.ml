@@ -1,0 +1,40 @@
+open Imk_util
+
+exception Corrupt of string
+
+let magic = 0x494e5244 (* "INRD" *)
+let header_bytes = 16
+
+let make ~size ~seed =
+  if size < header_bytes then invalid_arg "Initrd.make: size too small";
+  let body_len = size - header_bytes in
+  let out = Bytes.create size in
+  let rng = Imk_entropy.Prng.create ~seed in
+  for i = 0 to body_len - 1 do
+    let c =
+      if i land 15 < 12 then Char.chr ((i * 7) land 0xff)
+      else Char.chr (Imk_entropy.Prng.next_int rng 256)
+    in
+    Bytes.set out (header_bytes + i) c
+  done;
+  Byteio.set_u32 out 0 magic;
+  Byteio.set_u32 out 4 body_len;
+  Byteio.set_u32 out 8 (Crc.crc32 out header_bytes body_len);
+  Byteio.set_u32 out 12 0;
+  out
+
+let validate b =
+  if Bytes.length b < header_bytes then raise (Corrupt "initrd: truncated header");
+  if Byteio.get_u32 b 0 <> magic then raise (Corrupt "initrd: bad magic");
+  let body_len = Byteio.get_u32 b 4 in
+  if header_bytes + body_len > Bytes.length b then
+    raise (Corrupt "initrd: truncated body");
+  let crc = Byteio.get_u32 b 8 in
+  if Crc.crc32 b header_bytes body_len <> crc then
+    raise (Corrupt "initrd: body CRC mismatch")
+
+let validate_in_guest mem ~pa ~len =
+  match Imk_memory.Guest_mem.read_bytes mem ~pa ~len with
+  | exception Imk_memory.Guest_mem.Fault m ->
+      raise (Corrupt ("initrd: unreadable in guest memory: " ^ m))
+  | b -> validate b

@@ -1,0 +1,22 @@
+(** Initial ramdisk images.
+
+    The bootloader (or direct-booting monitor) loads the initrd alongside
+    the kernel and advertises it through the boot info; the kernel mounts
+    it as the first filesystem. Synthetic initrds carry a checksummed
+    header so a guest can detect a mis-placed or clobbered image — the
+    moral equivalent of a cpio magic check plus content integrity. *)
+
+exception Corrupt of string
+
+val make : size:int -> seed:int64 -> bytes
+(** [make ~size ~seed] builds an initrd of exactly [size] bytes
+    (minimum 16: magic, body length, body CRC). The body is
+    semi-compressible filler like a real compressed cpio archive. *)
+
+val validate : bytes -> unit
+(** [validate b] raises {!Corrupt} on bad magic, truncation or a CRC
+    mismatch. *)
+
+val validate_in_guest : Imk_memory.Guest_mem.t -> pa:int -> len:int -> unit
+(** [validate_in_guest mem ~pa ~len] validates an image as loaded in
+    guest memory — what the kernel does before unpacking it. *)

@@ -1,0 +1,31 @@
+open Imk_util
+
+exception Corrupt of string
+
+let superblock_bytes = 4096
+let magic = 0x52544653 (* "RTFS" *)
+
+let make ~size ~seed =
+  if size < superblock_bytes then invalid_arg "Rootfs.make: size too small";
+  let out = Bytes.create size in
+  let rng = Imk_entropy.Prng.create ~seed in
+  for i = 16 to size - 1 do
+    let c =
+      if i land 31 < 24 then Char.chr ((i * 13) land 0xff)
+      else Char.chr (Imk_entropy.Prng.next_int rng 256)
+    in
+    Bytes.set out i c
+  done;
+  Byteio.set_u32 out 0 magic;
+  Byteio.set_u32 out 4 size;
+  Byteio.set_u32 out 8 (Crc.crc32 out 16 (superblock_bytes - 16));
+  Byteio.set_u32 out 12 0;
+  out
+
+let mount_check sb =
+  if Bytes.length sb < superblock_bytes then
+    raise (Corrupt "rootfs: short superblock read");
+  if Byteio.get_u32 sb 0 <> magic then raise (Corrupt "rootfs: bad magic");
+  let crc = Byteio.get_u32 sb 8 in
+  if Crc.crc32 sb 16 (superblock_bytes - 16) <> crc then
+    raise (Corrupt "rootfs: superblock CRC mismatch")

@@ -1,0 +1,20 @@
+(** Root filesystem images for the virtio-blk device.
+
+    A minimal superblock-checked filesystem stand-in: magic, size, and a
+    CRC over the superblock region, so the guest's mount can detect a
+    corrupt or truncated image without reading the whole disk (block
+    devices are lazy). The body is semi-compressible filler standing in
+    for an ext4 tree with a libc and an init binary. *)
+
+exception Corrupt of string
+
+val superblock_bytes : int
+(** The region {!mount_check} reads and checksums (4 KiB). *)
+
+val make : size:int -> seed:int64 -> bytes
+(** [make ~size ~seed] builds an image of exactly [size] bytes
+    (minimum one superblock). *)
+
+val mount_check : bytes -> unit
+(** [mount_check superblock] validates the superblock region; raises
+    {!Corrupt}. *)

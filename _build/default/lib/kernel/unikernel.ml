@@ -1,0 +1,24 @@
+let config ?seed ~aslr () =
+  let name = if aslr then "unikernel-aslr" else "unikernel-noaslr" in
+  let base =
+    Config.make ~scale:1
+      ?seed:(Some (Option.value seed ~default:(Int64.of_int (Imk_util.Crc.crc32_string name))))
+      Config.Lupine
+      (if aslr then Config.Fgkaslr else Config.Nokaslr)
+  in
+  {
+    base with
+    Config.name;
+    functions = 320;
+    avg_fn_body = 420;
+    avg_call_sites = 3;
+    rodata_ptrs = 120;
+    data_bytes = 48 * 1024;
+    bss_bytes = 96 * 1024;
+    extab_entries = 16;
+    (* no init system, no drivers to probe: entry to main in ~1.2 ms *)
+    linux_boot_ms = 1.2;
+    memmap_ms_per_gib = 2.;
+  }
+
+let build ?seed ~aslr () = Image.build (config ?seed ~aslr ())

@@ -1,0 +1,31 @@
+(** Unikernel images — the §6 "Unikernel models" discussion, implemented.
+
+    A unikernel links the application and a library OS into one address
+    space and boots directly at its 64-bit entry point under a minimal
+    monitor (Solo5/ukvm-style). Two properties matter here:
+
+    - unikernels have {e no bootstrap loader at all}, so self-
+      randomization is structurally impossible — if anyone randomizes
+      them, it must be the monitor (the paper: "performing randomization
+      in the monitor would be more efficient than self-randomization",
+      and the Solo5 issue it cites considers exactly that);
+    - they are tiny and single-purpose, so whole-system function-granular
+      ASLR (app + libOS shuffled together) is cheap.
+
+    The image format is the same self-verifying ELF as the Linux kernels
+    (one function graph = app handlers + libOS routines linked together),
+    built with function sections and relocation info so the unmodified
+    in-monitor (FG)KASLR machinery applies. What distinguishes it is the
+    configuration: a few hundred functions, millisecond "boot" (no init
+    to speak of), and build scale 1 (unikernels are small enough to model
+    at full size). *)
+
+val config : ?seed:int64 -> aslr:bool -> unit -> Config.t
+(** [config ~aslr ()] is the build configuration: ~320 functions, ~1 MiB
+    image, 1.2 ms guest start. [aslr] selects a relocatable,
+    function-sectioned build (for in-monitor whole-system ASLR) vs a
+    bare fixed-address build — unikernels have no intermediate
+    coarse-KASLR heritage to preserve. *)
+
+val build : ?seed:int64 -> aslr:bool -> unit -> Image.built
+(** [build ~aslr ()] is [Image.build (config ~aslr ())]. *)

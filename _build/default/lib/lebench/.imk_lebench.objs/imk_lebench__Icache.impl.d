@@ -1,0 +1,1 @@
+lib/lebench/icache.ml: Array Hashtbl Imk_util Workloads

@@ -1,0 +1,1 @@
+lib/lebench/icache.mli: Workloads

@@ -1,0 +1,1 @@
+lib/lebench/runner.ml: Array Icache Imk_entropy Imk_guest List Workloads

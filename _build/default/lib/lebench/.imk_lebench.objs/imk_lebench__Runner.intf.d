@@ -1,0 +1,1 @@
+lib/lebench/runner.mli: Imk_guest Imk_memory Imk_vclock Workloads

@@ -1,0 +1,1 @@
+lib/lebench/workloads.ml: List

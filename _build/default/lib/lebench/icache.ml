@@ -1,0 +1,32 @@
+let page = 4096
+
+let hot_set (w : Workloads.t) ~n_functions =
+  let start = Imk_util.Crc.crc32_string w.name mod max 1 (n_functions - w.hot_fns) in
+  Array.init (min w.hot_fns n_functions) (fun k -> start + k)
+
+let pages_spanned ~fn_va ~hot =
+  let pages = Hashtbl.create 64 in
+  Array.iter (fun id -> Hashtbl.replace pages (fn_va.(id) / page) ()) hot;
+  Hashtbl.length pages
+
+let avg_hot_fn_bytes = 640
+
+let packed_pages ~hot =
+  (* ceiling plus one page of boundary slack: a co-located hot set may
+     straddle one extra page without that indicating poor locality *)
+  ((Array.length hot * avg_hot_fn_bytes) + page - 1) / page + 1
+
+(* Penalty per extra page touched on the hot path, as a fraction of the
+   icache-bound portion. Calibrated so a full shuffle of a microVM
+   kernel yields ≈7% average slowdown across the suite (Figure 11). *)
+let per_page_penalty = 0.008
+
+let slowdown (w : Workloads.t) ~fn_va =
+  let hot = hot_set w ~n_functions:(Array.length fn_va) in
+  if Array.length hot = 0 then 1.0
+  else begin
+    let ideal = packed_pages ~hot in
+    let actual = pages_spanned ~fn_va ~hot in
+    let excess = float_of_int (max 0 (actual - ideal)) in
+    1.0 +. (w.icache_sensitivity *. per_page_penalty *. excess)
+  end

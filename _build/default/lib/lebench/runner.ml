@@ -1,0 +1,41 @@
+type result = { workload : Workloads.t; mean_ns : float }
+
+let layout_of_guest charge mem params =
+  let n = params.Imk_guest.Boot_params.kernel.Imk_guest.Boot_params.n_functions in
+  let state = Imk_guest.Kallsyms.create () in
+  let fn_va = Array.make n 0 in
+  for index = 0 to n - 1 do
+    let addr, id =
+      Imk_guest.Kallsyms.read_for_user state charge mem params ~privileged:true
+        ~index
+    in
+    if id >= 0 && id < n then fn_va.(id) <- addr
+  done;
+  fn_va
+
+let run ?(iterations = 10_000) ?(noise_seed = 7L) ~fn_va () =
+  let rng = Imk_entropy.Prng.create ~seed:noise_seed in
+  List.map
+    (fun (w : Workloads.t) ->
+      let factor = Icache.slowdown w ~fn_va in
+      let per_iter = w.base_ns *. factor in
+      (* per-run measurement noise, ~0.5% as on a quiet testbed *)
+      let total = ref 0. in
+      for _ = 1 to iterations do
+        total :=
+          !total
+          +. Imk_entropy.Prng.gaussian rng ~mean:per_iter
+               ~stddev:(per_iter *. 0.005)
+      done;
+      { workload = w; mean_ns = !total /. float_of_int iterations })
+    Workloads.all
+
+let normalize ~baseline results =
+  if List.length baseline <> List.length results then
+    invalid_arg "Lebench.normalize: suite mismatch";
+  List.map2
+    (fun b r ->
+      if b.workload.Workloads.name <> r.workload.Workloads.name then
+        invalid_arg "Lebench.normalize: workload order mismatch";
+      (r.workload.Workloads.name, r.mean_ns /. b.mean_ns))
+    baseline results

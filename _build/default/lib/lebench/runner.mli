@@ -1,0 +1,34 @@
+(** LEBench execution against a booted guest.
+
+    The runner extracts the live function layout from the booted guest's
+    kallsyms table (triggering the deferred fixup if the monitor left it
+    stale — reading kallsyms is precisely the access that forces it),
+    then times each workload: [iterations] model iterations at the
+    layout-dependent latency, with gaussian measurement noise. Results
+    are normalized by the harness against a nokaslr baseline run, as in
+    Figure 11. *)
+
+type result = { workload : Workloads.t; mean_ns : float }
+
+val layout_of_guest :
+  Imk_vclock.Charge.t ->
+  Imk_memory.Guest_mem.t ->
+  Imk_guest.Boot_params.t ->
+  int array
+(** [layout_of_guest charge mem params] is the function-id → VA map read
+    from the guest's kallsyms. Raises [Imk_guest.Kallsyms.Lookup_failed]
+    if kallsyms is stale and unrepairable. *)
+
+val run :
+  ?iterations:int ->
+  ?noise_seed:int64 ->
+  fn_va:int array ->
+  unit ->
+  result list
+(** [run ~fn_va ()] times the whole suite against the layout. Default
+    10000 iterations (LEBench's default) and a fixed noise seed. *)
+
+val normalize : baseline:result list -> result list -> (string * float) list
+(** [normalize ~baseline results] is per-workload [mean / baseline_mean]
+    — the normalized performance of Figure 11. Raises [Invalid_argument]
+    if the suites do not match. *)

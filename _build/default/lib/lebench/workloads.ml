@@ -1,0 +1,30 @@
+type t = {
+  name : string;
+  base_ns : float;
+  hot_fns : int;
+  icache_sensitivity : float;
+}
+
+let all =
+  [
+    { name = "getpid"; base_ns = 180.; hot_fns = 4; icache_sensitivity = 0.55 };
+    { name = "context-switch"; base_ns = 1_800.; hot_fns = 24; icache_sensitivity = 0.7 };
+    { name = "small-read"; base_ns = 420.; hot_fns = 10; icache_sensitivity = 0.6 };
+    { name = "small-write"; base_ns = 450.; hot_fns = 10; icache_sensitivity = 0.6 };
+    { name = "big-read"; base_ns = 9_000.; hot_fns = 12; icache_sensitivity = 0.25 };
+    { name = "big-write"; base_ns = 9_500.; hot_fns = 12; icache_sensitivity = 0.25 };
+    { name = "mmap"; base_ns = 2_400.; hot_fns = 16; icache_sensitivity = 0.5 };
+    { name = "big-mmap"; base_ns = 45_000.; hot_fns = 18; icache_sensitivity = 0.15 };
+    { name = "munmap"; base_ns = 1_900.; hot_fns = 14; icache_sensitivity = 0.5 };
+    { name = "page-fault"; base_ns = 2_900.; hot_fns = 20; icache_sensitivity = 0.55 };
+    { name = "big-page-fault"; base_ns = 30_000.; hot_fns = 22; icache_sensitivity = 0.2 };
+    { name = "fork"; base_ns = 60_000.; hot_fns = 60; icache_sensitivity = 0.45 };
+    { name = "big-fork"; base_ns = 280_000.; hot_fns = 70; icache_sensitivity = 0.3 };
+    { name = "thread-create"; base_ns = 14_000.; hot_fns = 40; icache_sensitivity = 0.5 };
+    { name = "send"; base_ns = 3_200.; hot_fns = 26; icache_sensitivity = 0.65 };
+    { name = "recv"; base_ns = 3_400.; hot_fns = 26; icache_sensitivity = 0.65 };
+    { name = "select"; base_ns = 1_100.; hot_fns = 12; icache_sensitivity = 0.6 };
+    { name = "epoll"; base_ns = 1_300.; hot_fns = 14; icache_sensitivity = 0.6 };
+  ]
+
+let find name = List.find_opt (fun t -> t.name = name) all

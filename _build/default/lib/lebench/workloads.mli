@@ -1,0 +1,30 @@
+(** LEBench workload definitions.
+
+    LEBench (Ren et al., SOSP'19 — the paper's §5.4 benchmark) measures
+    the kernel operations that dominate application performance:
+    syscalls, context switches, forks, memory mapping, page faults and
+    network send/recv. Each model here carries a baseline latency
+    (Haswell-era figures) and two sensitivity parameters that determine
+    how the randomized text layout affects it:
+
+    - [hot_fns]: how many kernel functions the operation's hot path
+      touches (longer paths sample more of the layout);
+    - [icache_sensitivity]: how front-end-bound the operation is — the
+      fraction of its time attributable to instruction fetch locality.
+
+    FGKASLR's per-function shuffle separates functions that the linker
+    had co-located, raising i-cache/iTLB misses on hot paths (the ~7%
+    slowdown of Figure 11); plain KASLR preserves relative layout and
+    stays within noise. *)
+
+type t = {
+  name : string;
+  base_ns : float;  (** unrandomized per-iteration latency *)
+  hot_fns : int;
+  icache_sensitivity : float;  (** in [0, 1] *)
+}
+
+val all : t list
+(** The LEBench suite in presentation order (getpid through huge mmap). *)
+
+val find : string -> t option

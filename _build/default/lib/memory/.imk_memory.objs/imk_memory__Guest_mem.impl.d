@@ -1,0 +1,1 @@
+lib/memory/guest_mem.ml: Bytes Imk_util Printf

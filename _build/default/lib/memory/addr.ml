@@ -1,0 +1,22 @@
+let kmap_base = 0x3fffffff80000000
+let default_phys_load = 0x1000000
+let kernel_align = 0x200000
+let kaslr_max_offset = 0x40000000
+let link_base = kmap_base + default_phys_load
+let inverse_base = kmap_base + 0x80000000
+
+let is_kernel_va va =
+  va >= kmap_base && va < kmap_base + kaslr_max_offset + 0x10000000
+
+let low32 va = va land 0xffffffff
+
+let va_of_low32 v =
+  if v < 0 || v > 0xffffffff then invalid_arg "Addr.va_of_low32: not a 32-bit value";
+  let va = (kmap_base land lnot 0xffffffff) lor v in
+  if not (is_kernel_va va) then
+    invalid_arg "Addr.va_of_low32: outside the kernel window";
+  va
+
+let is_aligned v a = v mod a = 0
+let align_up v a = (v + a - 1) / a * a
+let align_down v a = v / a * a

@@ -1,0 +1,55 @@
+(** x86_64 guest address-space constants and helpers.
+
+    These are the values the paper's §4.3 calls out as inputs the monitor
+    needs: [CONFIG_PHYSICAL_START] / [CONFIG_PHYSICAL_ALIGN] from the
+    kernel configuration and [__START_KERNEL_map] / [KERNEL_IMAGE_SIZE]
+    from the kernel headers. One deliberate substitution: Linux's
+    [__START_KERNEL_map] is [0xffffffff80000000], which does not fit
+    OCaml's 63-bit native [int]; the simulated canonical base
+    [0x3fffffff80000000] keeps the {e low 32 bits} identical
+    ([0x80000000]), which is the part 32-bit relocation arithmetic
+    depends on, while fitting comfortably in a native int. All
+    relocation and randomization behaviour is unchanged. *)
+
+val kmap_base : int
+(** Simulated [__START_KERNEL_map]: [0x3fffffff80000000]. *)
+
+val default_phys_load : int
+(** [CONFIG_PHYSICAL_START] = 16 MiB — the paper's "default kernel load
+    address of 16 MB". *)
+
+val kernel_align : int
+(** [CONFIG_PHYSICAL_ALIGN] / [MIN_KERNEL_ALIGN] = 2 MiB. *)
+
+val kaslr_max_offset : int
+(** 1 GiB — the maximum virtual offset, "to avoid the fixmap" (§4.3). *)
+
+val link_base : int
+(** link-time virtual address of the kernel image:
+    [kmap_base + default_phys_load]. *)
+
+val inverse_base : int
+(** reference point for 32-bit inverse relocations:
+    [kmap_base + 2 GiB]. Sites store [(inverse_base - target) land
+    0xffffffff]; randomizing by [delta] {e subtracts} [delta]. *)
+
+val is_kernel_va : int -> bool
+(** [is_kernel_va va] checks [va] lies within the randomizable kernel
+    window [kmap_base, kmap_base + kaslr_max_offset + image headroom). *)
+
+val low32 : int -> int
+(** [low32 va] is [va land 0xffffffff] — the value a 32-bit absolute
+    relocation site stores. *)
+
+val va_of_low32 : int -> int
+(** [va_of_low32 v] reconstructs the full virtual address from its low 32
+    bits, exploiting that every kernel VA shares [kmap_base]'s upper bits
+    — exactly why Linux can use 32-bit relocations for kernel text.
+    Raises [Invalid_argument] if [v] is not in the kernel window's low-32
+    image. *)
+
+val is_aligned : int -> int -> bool
+(** [is_aligned v a]. *)
+
+val align_up : int -> int -> int
+val align_down : int -> int -> int

@@ -1,0 +1,69 @@
+type t = { data : bytes }
+
+exception Fault of string
+
+let fault fmt = Printf.ksprintf (fun s -> raise (Fault s)) fmt
+
+let create ~size =
+  if size <= 0 then invalid_arg "Guest_mem.create: non-positive size";
+  { data = Bytes.make size '\000' }
+
+let size t = Bytes.length t.data
+
+let check t pa len what =
+  if pa < 0 || len < 0 || pa + len > Bytes.length t.data then
+    fault "%s at %#x+%d outside guest memory of %d bytes" what pa len
+      (Bytes.length t.data)
+
+let write_bytes t ~pa b =
+  check t pa (Bytes.length b) "write";
+  Bytes.blit b 0 t.data pa (Bytes.length b)
+
+let write_sub t ~pa ~src ~src_off ~len =
+  check t pa len "write";
+  if src_off < 0 || src_off + len > Bytes.length src then
+    invalid_arg "Guest_mem.write_sub: source range";
+  Bytes.blit src src_off t.data pa len
+
+let read_bytes t ~pa ~len =
+  check t pa len "read";
+  Bytes.sub t.data pa len
+
+let copy_within t ~src ~dst ~len =
+  check t src len "copy source";
+  check t dst len "copy destination";
+  Bytes.blit t.data src t.data dst len
+
+let zero t ~pa ~len =
+  check t pa len "zero";
+  Bytes.fill t.data pa len '\000'
+
+let get_u8 t ~pa =
+  check t pa 1 "read u8";
+  Imk_util.Byteio.get_u8 t.data pa
+
+let get_u32 t ~pa =
+  check t pa 4 "read u32";
+  Imk_util.Byteio.get_u32 t.data pa
+
+let set_u32 t ~pa v =
+  check t pa 4 "write u32";
+  Imk_util.Byteio.set_u32 t.data pa v
+
+let get_u32_signed t ~pa =
+  check t pa 4 "read u32";
+  Imk_util.Byteio.get_u32_signed t.data pa
+
+let get_addr t ~pa =
+  check t pa 8 "read u64";
+  Imk_util.Byteio.get_addr t.data pa
+
+let set_addr t ~pa v =
+  check t pa 8 "write u64";
+  Imk_util.Byteio.set_addr t.data pa v
+
+let get_i64 t ~pa =
+  check t pa 8 "read i64";
+  Imk_util.Byteio.get_i64 t.data pa
+
+let raw t = t.data

@@ -1,0 +1,48 @@
+(** Guest physical memory.
+
+    A flat byte array addressed by guest-physical address starting at 0 —
+    the memory a VMM allocates for a microVM. All accesses are
+    bounds-checked: an out-of-range access is a guest triple-fault in real
+    life and a typed error here. The module is pure data movement; boot
+    paths charge virtual-clock costs separately (DESIGN.md §4.1). *)
+
+type t
+
+exception Fault of string
+(** Raised on out-of-bounds access, with a description of the access. *)
+
+val create : size:int -> t
+(** [create ~size] allocates zeroed guest memory. *)
+
+val size : t -> int
+
+val write_bytes : t -> pa:int -> bytes -> unit
+(** [write_bytes t ~pa b] copies all of [b] to physical address [pa]. *)
+
+val write_sub : t -> pa:int -> src:bytes -> src_off:int -> len:int -> unit
+
+val read_bytes : t -> pa:int -> len:int -> bytes
+
+val copy_within : t -> src:int -> dst:int -> len:int -> unit
+(** [copy_within t ~src ~dst ~len] moves a region inside guest memory —
+    what the bootstrap loader does when copying the compressed kernel out
+    of the way or copying text during FGKASLR. Overlap-safe. *)
+
+val zero : t -> pa:int -> len:int -> unit
+
+val get_u8 : t -> pa:int -> int
+val get_u32 : t -> pa:int -> int
+val set_u32 : t -> pa:int -> int -> unit
+val get_u32_signed : t -> pa:int -> int
+val get_addr : t -> pa:int -> int
+val set_addr : t -> pa:int -> int -> unit
+
+val get_i64 : t -> pa:int -> int64
+(** [get_i64 t ~pa] reads 8 raw bytes without the native-int range check
+    of {!get_addr} — for probing memory that may hold arbitrary data
+    (e.g. an attacker guessing at function magics). *)
+
+val raw : t -> bytes
+(** [raw t] exposes the backing store for read-mostly bulk operations
+    (e.g. hashing a region in tests). Mutating it bypasses no invariants —
+    guest memory has none beyond bounds — but prefer the checked ops. *)

@@ -1,0 +1,66 @@
+type page_size = Four_k | Two_m | One_g
+
+let page_bytes = function
+  | Four_k -> 4096
+  | Two_m -> 2 * 1024 * 1024
+  | One_g -> 1024 * 1024 * 1024
+
+type t = {
+  page_size : page_size;
+  covered_bytes : int;
+  pml4_pages : int;
+  pdpt_pages : int;
+  pd_pages : int;
+  pt_pages : int;
+}
+
+let div_up a b = (a + b - 1) / b
+
+let identity_map ~covered_bytes ~page_size =
+  if covered_bytes <= 0 then
+    invalid_arg "Page_table.identity_map: non-positive span";
+  (* each table page holds 512 entries; leaf level depends on page size *)
+  let leaf = page_bytes page_size in
+  let leaves = div_up covered_bytes leaf in
+  match page_size with
+  | One_g ->
+      let pdpt = div_up leaves 512 in
+      {
+        page_size;
+        covered_bytes;
+        pml4_pages = 1;
+        pdpt_pages = pdpt;
+        pd_pages = 0;
+        pt_pages = 0;
+      }
+  | Two_m ->
+      let pd = div_up leaves 512 in
+      let pdpt = div_up pd 512 in
+      {
+        page_size;
+        covered_bytes;
+        pml4_pages = 1;
+        pdpt_pages = pdpt;
+        pd_pages = pd;
+        pt_pages = 0;
+      }
+  | Four_k ->
+      let pt = div_up leaves 512 in
+      let pd = div_up pt 512 in
+      let pdpt = div_up pd 512 in
+      {
+        page_size;
+        covered_bytes;
+        pml4_pages = 1;
+        pdpt_pages = pdpt;
+        pd_pages = pd;
+        pt_pages = pt;
+      }
+
+let total_pages t = t.pml4_pages + t.pdpt_pages + t.pd_pages + t.pt_pages
+let table_bytes t = total_pages t * 4096
+
+let entries t =
+  let leaves = div_up t.covered_bytes (page_bytes t.page_size) in
+  (* one entry per leaf plus one per non-root table page pointer *)
+  leaves + t.pdpt_pages + t.pd_pages + t.pt_pages

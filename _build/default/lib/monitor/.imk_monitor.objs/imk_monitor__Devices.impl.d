@@ -1,0 +1,1 @@
+lib/monitor/devices.ml: Bytes Imk_storage Imk_vclock Profiles

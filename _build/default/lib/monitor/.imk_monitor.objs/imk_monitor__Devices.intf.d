@@ -1,0 +1,1 @@
+lib/monitor/devices.mli: Imk_storage Imk_vclock Profiles

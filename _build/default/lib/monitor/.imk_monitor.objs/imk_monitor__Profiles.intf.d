@@ -1,0 +1,1 @@
+lib/monitor/profiles.mli:

@@ -1,0 +1,1 @@
+lib/monitor/snapshot.ml: Bytes Charge Cost_model Guest_mem Imk_guest Imk_memory Imk_util Imk_vclock Trace Vm_config Vmm

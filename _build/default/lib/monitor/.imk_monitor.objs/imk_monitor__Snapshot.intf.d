@@ -1,0 +1,1 @@
+lib/monitor/snapshot.mli: Imk_guest Imk_vclock Vmm

@@ -1,0 +1,1 @@
+lib/monitor/vm_config.ml: Devices Imk_kernel Profiles

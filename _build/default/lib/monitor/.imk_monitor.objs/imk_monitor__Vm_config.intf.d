@@ -1,0 +1,1 @@
+lib/monitor/vm_config.mli: Devices Imk_kernel Profiles

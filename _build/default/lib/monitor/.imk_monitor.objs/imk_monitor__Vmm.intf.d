@@ -1,0 +1,1 @@
+lib/monitor/vmm.mli: Imk_guest Imk_memory Imk_storage Imk_vclock Vm_config

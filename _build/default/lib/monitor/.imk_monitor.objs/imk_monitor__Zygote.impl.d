@@ -1,0 +1,1 @@
+lib/monitor/zygote.ml: Array Hashtbl Imk_entropy Int64 Snapshot Vmm

@@ -1,0 +1,1 @@
+lib/monitor/zygote.mli: Imk_entropy Imk_storage Imk_vclock Vm_config Vmm

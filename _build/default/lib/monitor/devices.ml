@@ -1,0 +1,28 @@
+type t = Serial | Virtio_blk of { image : string } | Virtio_net
+
+let name = function
+  | Serial -> "serial"
+  | Virtio_blk _ -> "virtio-blk"
+  | Virtio_net -> "virtio-net"
+
+let monitor_setup_ns (profile : Profiles.t) device =
+  let base =
+    match device with
+    | Serial -> 30_000
+    | Virtio_blk _ -> 120_000
+    | Virtio_net -> 180_000
+  in
+  if profile.Profiles.name = "qemu" then base * 10 else base
+
+let guest_probe_ns = function
+  | Serial -> 150_000
+  | Virtio_blk _ -> 450_000
+  | Virtio_net -> 600_000
+
+let blk_read ch cache ~image ~off ~len =
+  let contents, cached = Imk_storage.Page_cache.read cache image in
+  if off < 0 || len < 0 || off + len > Bytes.length contents then
+    invalid_arg "Devices.blk_read: out of range";
+  let cm = Imk_vclock.Charge.model ch in
+  Imk_vclock.Charge.pay ch (Imk_vclock.Cost_model.read_cost cm ~cached len);
+  Bytes.sub contents off len

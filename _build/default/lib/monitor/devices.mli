@@ -1,0 +1,38 @@
+(** The device model.
+
+    A microVM is more than a kernel: Firecracker wires a handful of
+    virtio devices (block for the rootfs, net, a serial console) before
+    entry, and the guest probes their drivers during boot. Firecracker's
+    minimalism here — a few MMIO virtio devices instead of QEMU's full PC
+    — is part of why its In-Monitor time is small (§2.1's "lightweight
+    monitors"). Devices are off by default so the paper-calibrated boot
+    numbers are unchanged; experiments opt in. *)
+
+type t =
+  | Serial
+  | Virtio_blk of { image : string }
+      (** a block device backed by a host file (the rootfs) *)
+  | Virtio_net
+
+val name : t -> string
+
+val monitor_setup_ns : Profiles.t -> t -> int
+(** Wiring the device model before VM entry: MMIO registration, queue
+    setup, tap/backing-file plumbing. Cheap on Firecracker-style
+    monitors, ~10× heavier on QEMU's device tree. *)
+
+val guest_probe_ns : t -> int
+(** Driver probe during the guest's Linux boot. *)
+
+val blk_read :
+  Imk_vclock.Charge.t ->
+  Imk_storage.Page_cache.t ->
+  image:string ->
+  off:int ->
+  len:int ->
+  bytes
+(** [blk_read charge cache ~image ~off ~len] serves a guest block read
+    from the backing file through the host page cache, charging cold or
+    warm I/O for the requested span only (block devices are read lazily,
+    unlike kernel images). Raises [Not_found] if the backing file is
+    missing and [Invalid_argument] if the read is out of range. *)

@@ -1,0 +1,46 @@
+open Imk_memory
+open Imk_vclock
+
+type t = {
+  memory : bytes;  (** full guest image *)
+  params : Imk_guest.Boot_params.t;
+  config : Vm_config.t;
+}
+
+let capture (r : Vmm.boot_result) =
+  {
+    memory = Bytes.copy (Guest_mem.raw r.Vmm.mem);
+    params = r.Vmm.params;
+    config = r.Vmm.config;
+  }
+
+let encoded_bytes t = Bytes.length t.memory
+
+let layout_seed_of t =
+  let text_pa = t.params.Imk_guest.Boot_params.phys_load in
+  let probe = min (256 * 1024) (Bytes.length t.memory - text_pa) in
+  t.params.Imk_guest.Boot_params.virt_base
+  lxor Imk_util.Crc.crc32 t.memory text_pa probe
+
+let page = 4096
+
+let restore ch t ~working_set_pages =
+  let cm = Charge.model ch in
+  Charge.span ch Trace.In_monitor "snapshot-restore" (fun () ->
+      (* CoW mapping setup: per-page bookkeeping across the image *)
+      let pages = (Bytes.length t.memory + page - 1) / page in
+      Charge.pay ch
+        (int_of_float (cm.Cost_model.pte_write_ns *. float_of_int pages));
+      (* first-touch faults of the working set: each fault copies a page *)
+      Charge.pay ch
+        (Cost_model.memcpy_cost cm ~in_guest:false (working_set_pages * page));
+      Charge.pay ch (int_of_float cm.Cost_model.vmm_entry_ns));
+  (* the clone itself: in a real CoW restore this is lazy; the simulation
+     materializes it so the guest is fully inspectable *)
+  let mem = Guest_mem.create ~size:(Bytes.length t.memory) in
+  Guest_mem.write_bytes mem ~pa:0 t.memory;
+  let stats = Imk_guest.Runtime.verify_boot mem t.params in
+  { Vmm.config = t.config; params = t.params; stats; mem }
+
+let verify_restored (r : Vmm.boot_result) =
+  Imk_guest.Runtime.verify_boot r.Vmm.mem r.Vmm.params

@@ -1,0 +1,42 @@
+(** VM snapshots — the zygote alternative to fresh boots (§7).
+
+    Checkpoint/restore platforms (SAND, Catalyzer-style zygotes, the JVM
+    warm-clone lineage the paper surveys) avoid boot cost by restoring a
+    memory image instead of booting. The catch the paper highlights:
+    every restored instance inherits the snapshot's address-space layout,
+    nullifying ASLR — unless a pool of differently-randomized snapshots
+    is maintained (Morula), with its own complexity and memory cost.
+
+    This module implements both sides of that trade so the harness can
+    quantify it: serialize a booted guest, restore clones of it, and
+    model restore cost as the copy-on-write mapping setup plus the
+    first-touch faults of the working set — far cheaper than a boot, and
+    exactly as randomized as the one snapshot it came from. *)
+
+type t
+
+val capture : Vmm.boot_result -> t
+(** [capture result] snapshots a booted guest: full memory image plus the
+    boot parameters. The source VM remains usable. *)
+
+val encoded_bytes : t -> int
+(** Serialized size (what a snapshot costs to keep on disk or in a
+    zygote pool). *)
+
+val layout_seed_of : t -> int
+(** A fingerprint of the captured layout (virtual base ⊕ a hash of the
+    text pages) — distinct snapshots in a Morula-style pool must differ
+    on it. *)
+
+val restore :
+  Imk_vclock.Charge.t -> t -> working_set_pages:int -> Vmm.boot_result
+(** [restore charge t ~working_set_pages] clones the snapshot into a
+    fresh guest. Charged work: re-establishing the copy-on-write mapping
+    (per-page bookkeeping over the kernel image) and faulting in
+    [working_set_pages] pages — the restore path's real costs, orders of
+    magnitude below a boot. The restored guest passes the same integrity
+    verification as a booted one (the clone is exact — including its
+    randomization). *)
+
+val verify_restored : Vmm.boot_result -> Imk_guest.Runtime.verify_stats
+(** Run the guest's integrity walk on a restored clone. *)

@@ -1,0 +1,49 @@
+(** The virtual machine monitor — in-monitor (FG)KASLR lives here.
+
+    [boot] runs one microVM boot end to end and is the simulation
+    equivalent of executing Firecracker (the paper's measurement starts
+    at the [execve] and ends just after the guest's init runs, §5.1):
+
+    - {b Direct boot} (uncompressed vmlinux): the monitor reads the
+      kernel one segment at a time directly into guest memory at its
+      final location, and — with the paper's modification — parses the
+      ELF, shuffles function sections (FGKASLR), chooses a random virtual
+      offset from the {e host} entropy pool, handles relocations and
+      updates the address-ordered tables, all before VM entry (§4.2).
+      The kernel needs no modification; relocation info arrives as the
+      extra [relocs_path] argument (Figure 8).
+    - {b bzImage boot} (with the bzImage-support patch): the monitor
+      stages the image in guest memory and hands control to the
+      {!Imk_bootstrap.Loader}, which self-bootstraps exactly as on bare
+      metal.
+
+    Both paths end by running {!Imk_guest.Linux_boot}, which verifies the
+    loaded kernel's integrity — a boot after a botched randomization
+    raises [Imk_guest.Runtime.Panic]. *)
+
+exception Boot_error of string
+(** Configuration and capability errors: a flavor asked to do something
+    it does not implement (e.g. stock Firecracker given a bzImage),
+    randomization without relocation info, an image too large for guest
+    memory, or an fgkaslr request against a kernel without function
+    sections. *)
+
+type boot_result = {
+  config : Vm_config.t;
+  params : Imk_guest.Boot_params.t;
+  stats : Imk_guest.Runtime.verify_stats;
+  mem : Imk_memory.Guest_mem.t;
+      (** the booted guest's memory — inspected by the security analysis
+          and the LEBench runner *)
+}
+
+val staging_pa : int
+(** Where bzImages are staged in guest memory before the bootstrap loader
+    runs (4 MiB, below the kernel's 16 MiB load address). *)
+
+val boot :
+  Imk_vclock.Charge.t -> Imk_storage.Page_cache.t -> Vm_config.t -> boot_result
+(** [boot charge cache config] performs one boot, charging In-Monitor /
+    Bootstrap / Decompression / Linux Boot spans to [charge]'s trace.
+    Reads images through [cache], so cold-vs-warm behaviour follows the
+    cache state the experiment set up. *)

@@ -1,0 +1,26 @@
+type t = { members : Snapshot.t array }
+
+let build ch cache ~make_vm ~size =
+  if size <= 0 then invalid_arg "Zygote.build: empty pool";
+  let members =
+    Array.init size (fun i ->
+        let vm = make_vm ~seed:(Int64.of_int (0x5a5a + (i * 131))) in
+        Snapshot.capture (Vmm.boot ch cache vm))
+  in
+  { members }
+
+let size t = Array.length t.members
+
+let memory_bytes t =
+  Array.fold_left (fun acc s -> acc + Snapshot.encoded_bytes s) 0 t.members
+
+let distinct_layouts t =
+  let seen = Hashtbl.create 16 in
+  Array.iter
+    (fun s -> Hashtbl.replace seen (Snapshot.layout_seed_of s) ())
+    t.members;
+  Hashtbl.length seen
+
+let draw ch t ~rng ~working_set_pages =
+  let i = Imk_entropy.Prng.next_int rng (Array.length t.members) in
+  Snapshot.restore ch t.members.(i) ~working_set_pages

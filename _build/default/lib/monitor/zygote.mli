@@ -1,0 +1,40 @@
+(** A Morula-style zygote pool: pre-randomized snapshots (§7).
+
+    Morula's answer to snapshot-layout cloning is a pool of zygotes, each
+    randomized differently, drawn from at instance-creation time. The
+    pool buys restore-speed {e and} layout diversity, paying with memory
+    (one full image per member) and background refill work. The paper
+    argues fast randomized boots via in-monitor KASLR reduce the need for
+    this machinery; this module exists so the harness can measure both
+    sides. *)
+
+type t
+
+val build :
+  Imk_vclock.Charge.t ->
+  Imk_storage.Page_cache.t ->
+  make_vm:(seed:int64 -> Vm_config.t) ->
+  size:int ->
+  t
+(** [build charge cache ~make_vm ~size] boots [size] VMs with distinct
+    seeds and captures each — the pool-fill cost is charged to
+    [charge]. *)
+
+val size : t -> int
+
+val memory_bytes : t -> int
+(** Resident cost of keeping the pool. *)
+
+val distinct_layouts : t -> int
+(** Number of distinct layout fingerprints across members (must equal
+    [size] for a correctly built pool). *)
+
+val draw :
+  Imk_vclock.Charge.t ->
+  t ->
+  rng:Imk_entropy.Prng.t ->
+  working_set_pages:int ->
+  Vmm.boot_result
+(** [draw charge t ~rng ~working_set_pages] restores a uniformly chosen
+    member. Consecutive draws may repeat layouts — the residual weakness
+    the paper notes even for pooled zygotes. *)

@@ -1,0 +1,1 @@
+lib/randomize/fgkaslr.ml: Addr Array Guest_mem Imk_entropy Imk_kernel Imk_memory Kaslr

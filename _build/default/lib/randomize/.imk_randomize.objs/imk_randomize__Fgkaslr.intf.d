@@ -1,0 +1,1 @@
+lib/randomize/fgkaslr.mli: Imk_entropy Imk_memory

@@ -1,0 +1,1 @@
+lib/randomize/kaslr.ml: Addr Guest_mem Imk_elf Imk_entropy Imk_memory Printf

@@ -1,0 +1,1 @@
+lib/randomize/kaslr.mli: Imk_elf Imk_entropy Imk_memory

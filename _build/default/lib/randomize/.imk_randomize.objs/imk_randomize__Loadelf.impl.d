@@ -1,0 +1,1 @@
+lib/randomize/loadelf.ml: Addr Array Fgkaslr Guest_mem Imk_elf Imk_memory List Printf

@@ -1,0 +1,1 @@
+lib/randomize/loadelf.mli: Fgkaslr Imk_elf Imk_memory

@@ -1,0 +1,71 @@
+(** Function-granular KASLR: section shuffling, displacement mapping and
+    table fixups.
+
+    Follows the in-kernel FGKASLR implementation the paper adapts (§3.2,
+    §4.3): function sections are shuffled and re-laid-out contiguously,
+    every relocation consults a binary search over the moved sections to
+    displace values that point into them, and the address-ordered tables
+    (kallsyms, the exception table, optionally the ORC unwind table) are
+    rewritten and re-sorted. The {!plan} is the shared data structure; the
+    monitor and the bootstrap loader differ only in how they move the
+    bytes and what they charge for it. *)
+
+type plan = {
+  count : int;
+  order : int array;
+      (** shuffled permutation: [order.(k)] is the original index of the
+          section placed k-th *)
+  old_va : int array;  (** per original index *)
+  size : int array;  (** per original index *)
+  new_va : int array;  (** per original index *)
+  sorted_old : int array;
+      (** original indices sorted by [old_va] — the binary-search key the
+          relocation fixup walks *)
+}
+
+val make_plan :
+  Imk_entropy.Prng.t -> sections:(int * int) array -> text_base:int -> plan
+(** [make_plan rng ~sections ~text_base] shuffles the [(old_va, size)]
+    sections and assigns new VAs contiguously (16-aligned) from
+    [text_base]. Raises [Invalid_argument] if sections overlap or are
+    unsorted — symptoms of a corrupt section table. *)
+
+val displace : plan -> int -> int
+(** [displace plan va] maps a link-time VA to its post-shuffle VA: VAs
+    inside a moved section get that section's displacement (found by
+    binary search); all other VAs are unchanged. The global KASLR delta is
+    {e not} included — compose with {!Kaslr.delta_new_va}. *)
+
+val displacement_pairs : plan -> (int * int * int) array
+(** [displacement_pairs plan] lists [(old_va, new_va, size)] per section
+    in placement order — the "setup data" blob a monitor can expose to the
+    guest for deferred kallsyms fixup (§4.3 ablation). *)
+
+val plan_of_pairs : (int * int * int) array -> plan
+(** [plan_of_pairs pairs] reconstructs a plan from
+    {!displacement_pairs} output — how the guest's deferred kallsyms
+    fixup rebuilds the displacement map from the setup-data blob. *)
+
+val identity_plan : sections:(int * int) array -> text_base:int -> plan
+(** [identity_plan] builds a no-shuffle plan (every displacement zero) —
+    what an fgkaslr-built kernel does when randomization is disabled on
+    the command line: it still parses sections, but nothing moves. *)
+
+(** {1 Table fixups} — operate on the loaded tables in guest memory.
+    [pa] is the guest-physical address of the section; entries use the
+    encodings documented in {!Imk_kernel.Image}. *)
+
+val fixup_kallsyms : Imk_memory.Guest_mem.t -> pa:int -> plan -> unit
+(** Rewrite each symbol's base-relative offset by its function's
+    displacement, then re-sort by offset. Raises [Kaslr.Reloc_error] on a
+    malformed table. *)
+
+val fixup_extab : Imk_memory.Guest_mem.t -> pa:int -> extab_va:int -> plan -> unit
+(** Adjust the self-relative fault/handler displacements by the moved
+    functions' displacements and re-sort by fault address. [extab_va] is
+    the table's current VA (needed because entries are self-relative). *)
+
+val fixup_orc : Imk_memory.Guest_mem.t -> pa:int -> orc_va:int -> plan -> unit
+(** Same treatment for the ORC unwind table. The paper's in-monitor
+    implementation deliberately omits this (§4.3); the ablation bench
+    measures what it would cost. *)

@@ -1,0 +1,75 @@
+open Imk_memory
+
+exception Reloc_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Reloc_error s)) fmt
+
+let choose_physical rng ~image_memsz ~mem_bytes =
+  let lo = Addr.default_phys_load in
+  let hi = mem_bytes - image_memsz in
+  if hi < lo then lo
+  else Imk_entropy.Prng.next_aligned rng ~lo ~hi ~align:Addr.kernel_align
+
+let virtual_bounds ~image_memsz =
+  let lo = Addr.kmap_base + Addr.default_phys_load in
+  let hi = Addr.kmap_base + Addr.kaslr_max_offset - image_memsz in
+  (lo, hi)
+
+let choose_virtual rng ~image_memsz =
+  let lo, hi = virtual_bounds ~image_memsz in
+  if hi < lo then lo
+  else Imk_entropy.Prng.next_aligned rng ~lo ~hi ~align:Addr.kernel_align
+
+let virtual_slots ~image_memsz =
+  let lo, hi = virtual_bounds ~image_memsz in
+  if hi < lo then 1
+  else
+    let first = Addr.align_up lo Addr.kernel_align in
+    ((hi - first) / Addr.kernel_align) + 1
+
+let delta_new_va ~delta va =
+  if not (Addr.is_kernel_va va) then
+    fail "relocation target %#x outside the kernel window" va;
+  va + delta
+
+let apply ~mem ~relocs ~site_pa ~new_va_of =
+  let open Imk_elf.Relocation in
+  let patch kind site_va =
+      let pa = site_pa site_va in
+      match kind with
+      | Abs64 ->
+          let old_va =
+            (* a site pointing at garbage can hold a value outside the
+               native-int range; that is a corrupt-relocs symptom, not a
+               programming error *)
+            try Guest_mem.get_addr mem ~pa
+            with Invalid_argument _ ->
+              fail "abs64 site %#x holds a non-address value" site_va
+          in
+          Guest_mem.set_addr mem ~pa (new_va_of old_va)
+      | Abs32 ->
+          let low = Guest_mem.get_u32 mem ~pa in
+          let old_va =
+            try Addr.va_of_low32 low
+            with Invalid_argument _ ->
+              fail "abs32 site %#x holds non-kernel value %#x" site_va low
+          in
+          let nva = new_va_of old_va in
+          if not (Addr.is_kernel_va nva) then
+            fail "abs32 relocation at %#x overflows 32 bits" site_va;
+          Guest_mem.set_u32 mem ~pa (Addr.low32 nva)
+      | Inv32 ->
+          let stored = Guest_mem.get_u32 mem ~pa in
+          let old_va = Addr.inverse_base - stored in
+          if not (Addr.is_kernel_va old_va) then
+            fail "inv32 site %#x holds non-kernel value %#x" site_va stored;
+          let nva = new_va_of old_va in
+          let stored' = Addr.inverse_base - nva in
+          if stored' < 0 || stored' > 0xffffffff then
+            fail "inv32 relocation at %#x underflows" site_va;
+          Guest_mem.set_u32 mem ~pa stored'
+  in
+  iter relocs ~f:(fun kind site_va ->
+      try patch kind site_va
+      with Guest_mem.Fault m ->
+        fail "relocation site %#x outside the loaded image: %s" site_va m)

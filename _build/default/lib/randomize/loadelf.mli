@@ -1,0 +1,36 @@
+(** Placing a kernel ELF into guest memory.
+
+    Shared by the monitor (direct boot: "reads the kernel image one
+    segment at a time directly into guest memory at the physical location
+    specified by each program header", §5.2) and the bootstrap loader
+    (which does the same copies from inside the guest, after
+    decompression). With an FGKASLR {!Fgkaslr.plan}, function sections are
+    placed at their shuffled addresses in the same pass — the one-pass
+    advantage in-monitor randomization gets for free. *)
+
+exception Load_error of string
+
+val fn_sections : Imk_elf.Types.t -> (int * int) array
+(** [(link va, size)] of every [.text.<fn>] section, ascending by VA.
+    Empty for kernels not built with -ffunction-sections. *)
+
+val image_memsz : Imk_elf.Types.t -> int
+(** Memory span of all allocatable sections (including NOBITS), from
+    {!Imk_memory.Addr.link_base} to the last byte — what offset selection
+    must leave room for. *)
+
+val text_bytes : Imk_elf.Types.t -> int
+(** Total bytes of executable sections — the copy volume FGKASLR's
+    bootstrap path pays twice for (§5.2). *)
+
+val place :
+  Imk_memory.Guest_mem.t ->
+  Imk_elf.Types.t ->
+  phys_load:int ->
+  plan:Fgkaslr.plan option ->
+  unit
+(** [place mem elf ~phys_load ~plan] copies every allocatable PROGBITS
+    section to [phys_load + (va' - link_base)], where [va'] is the
+    section's link VA, displaced by [plan] for function sections. NOBITS
+    (.bss) regions are zeroed. Raises {!Load_error} if the image does not
+    fit or sections fall outside memory. *)

@@ -1,0 +1,1 @@
+lib/security/attack.ml: Addr Array Guest_mem Imk_entropy Imk_guest Imk_kernel Imk_memory

@@ -1,0 +1,1 @@
+lib/security/attack.mli: Imk_entropy Imk_guest Imk_memory

@@ -1,0 +1,1 @@
+lib/security/entropy_analysis.ml: Imk_entropy Imk_randomize

@@ -1,0 +1,1 @@
+lib/security/uniformity.ml: Array Imk_entropy Imk_memory Imk_randomize Printf

@@ -1,0 +1,75 @@
+open Imk_memory
+
+type outcome = {
+  scheme : string;
+  leaked_fn : int;
+  predictions_correct : int;
+  n_functions : int;
+  gadgets_exposed_fraction : float;
+}
+
+(* the leak: read the target function's true runtime address out of the
+   guest (standing in for a kptr leak through a log line or a side
+   channel) *)
+let runtime_va_of_fn mem params ~link_fn_va ~fn =
+  ignore link_fn_va;
+  (* walk kallsyms directly (the ground truth table in guest memory) *)
+  let info = params.Imk_guest.Boot_params.kernel in
+  let delta = Imk_guest.Boot_params.delta params in
+  let table_va = info.Imk_guest.Boot_params.link_kallsyms_va + delta in
+  let pa = Imk_guest.Boot_params.va_to_pa params table_va in
+  let base = Guest_mem.get_addr mem ~pa in
+  let count = Guest_mem.get_u32 mem ~pa:(pa + 8) in
+  let header = Imk_kernel.Image.kallsyms_header_bytes in
+  let entry = Imk_kernel.Image.kallsyms_entry_bytes in
+  let rec find k =
+    if k >= count then None
+    else
+      let off_pa = pa + header + (k * entry) in
+      let id = Guest_mem.get_u32 mem ~pa:(off_pa + 4) in
+      if id = fn then Some (base + Guest_mem.get_u32 mem ~pa:off_pa)
+      else find (k + 1)
+  in
+  find 0
+
+let leak_and_locate ~mem ~params ~link_fn_va ~leaked_fn ~scheme =
+  let n = Array.length link_fn_va in
+  if leaked_fn < 0 || leaked_fn >= n then
+    invalid_arg "Attack.leak_and_locate: leaked_fn out of range";
+  let leaked_va =
+    match runtime_va_of_fn mem params ~link_fn_va ~fn:leaked_fn with
+    | Some va -> va
+    | None -> invalid_arg "Attack.leak_and_locate: leak source missing"
+  in
+  let correct = ref 0 in
+  for target = 0 to n - 1 do
+    if target <> leaked_fn then begin
+      let predicted =
+        leaked_va + (link_fn_va.(target) - link_fn_va.(leaked_fn))
+      in
+      match Imk_guest.Runtime.fn_at mem params ~va:predicted with
+      | Some id when id = target -> incr correct
+      | Some _ | None -> ()
+    end
+  done;
+  {
+    scheme;
+    leaked_fn;
+    predictions_correct = !correct;
+    n_functions = n;
+    gadgets_exposed_fraction = float_of_int !correct /. float_of_int (n - 1);
+  }
+
+let probe_until_found ~mem ~params ~rng ~target_fn ~max_probes =
+  let lo = Addr.kmap_base + Addr.default_phys_load in
+  let hi = Addr.kmap_base + Addr.kaslr_max_offset in
+  let rec go probes =
+    if probes >= max_probes then None
+    else begin
+      let guess = Imk_entropy.Prng.next_aligned rng ~lo ~hi ~align:16 in
+      match Imk_guest.Runtime.fn_at mem params ~va:guess with
+      | Some id when id = target_fn -> Some (probes + 1)
+      | Some _ | None -> go (probes + 1)
+    end
+  in
+  go 0

@@ -1,0 +1,51 @@
+(** The leak-and-locate attack: what one information leak buys.
+
+    Threat model (§4.1): the attacker controls a process in a container
+    atop the guest kernel; W^X and SMEP block code injection, so they
+    need {e addresses} of existing kernel code for a reuse attack. They
+    have obtained exactly one leak — the runtime address of one kernel
+    function — and know the kernel build (link-time layout), as any
+    attacker with the distribution image does.
+
+    The attack derives every other function's address from the leak by
+    adding link-time offsets, then checks each prediction against the
+    booted guest's actual memory. Under no randomization or coarse KASLR
+    a single leak defeats everything — one offset rebases the whole
+    kernel (§3.1: "the entire text of the kernel shares the same
+    offset"). Under FGKASLR the prediction only holds for the leaked
+    function itself: the leak's value collapses to one address, the
+    paper's core security claim for fine granularity. *)
+
+type outcome = {
+  scheme : string;
+  leaked_fn : int;
+  predictions_correct : int;  (** of [n_functions - 1] derived addresses *)
+  n_functions : int;
+  gadgets_exposed_fraction : float;
+}
+
+val leak_and_locate :
+  mem:Imk_memory.Guest_mem.t ->
+  params:Imk_guest.Boot_params.t ->
+  link_fn_va:int array ->
+  leaked_fn:int ->
+  scheme:string ->
+  outcome
+(** [leak_and_locate ~mem ~params ~link_fn_va ~leaked_fn ~scheme] mounts
+    the attack against a booted guest. [link_fn_va] is the link-time
+    layout (from the distribution image); the leak is the actual runtime
+    address of [leaked_fn], obtained via the guest's own structures. *)
+
+val probe_until_found :
+  mem:Imk_memory.Guest_mem.t ->
+  params:Imk_guest.Boot_params.t ->
+  rng:Imk_entropy.Prng.t ->
+  target_fn:int ->
+  max_probes:int ->
+  int option
+(** [probe_until_found ~mem ~params ~rng ~target_fn ~max_probes] models
+    blind probing for a specific function: random 16-byte-aligned guesses
+    in the kernel window, each "probe" standing for one crash-risking
+    access. Returns the probe count on success. Expected cost ~ the
+    number of aligned slots divided by one — i.e. hopeless at FGKASLR
+    granularity, which is the point. *)

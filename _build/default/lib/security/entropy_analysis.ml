@@ -1,0 +1,40 @@
+type report = {
+  scheme : string;
+  base_slots : int;
+  base_bits : float;
+  permutation_bits : float;
+  total_bits : float;
+}
+
+let log2 x = log x /. log 2.
+
+let nokaslr =
+  {
+    scheme = "nokaslr";
+    base_slots = 1;
+    base_bits = 0.;
+    permutation_bits = 0.;
+    total_bits = 0.;
+  }
+
+let kaslr ~image_memsz =
+  let slots = Imk_randomize.Kaslr.virtual_slots ~image_memsz in
+  let bits = log2 (float_of_int slots) in
+  {
+    scheme = "kaslr";
+    base_slots = slots;
+    base_bits = bits;
+    permutation_bits = 0.;
+    total_bits = bits;
+  }
+
+let fgkaslr ~image_memsz ~functions =
+  let base = kaslr ~image_memsz in
+  let perm = Imk_entropy.Shuffle.log2_factorial functions in
+  {
+    scheme = "fgkaslr";
+    base_slots = base.base_slots;
+    base_bits = base.base_bits;
+    permutation_bits = perm;
+    total_bits = base.base_bits +. perm;
+  }

@@ -1,0 +1,30 @@
+(** Randomization entropy accounting.
+
+    §4.3 claims in-monitor randomization provides entropy "equivalent to
+    that of Linux" because the algorithm is shared; this module computes
+    what that entropy is for each scheme, at the paper's true kernel
+    sizes (modelled bytes):
+
+    - KASLR base: the number of 2 MiB-aligned virtual slots between the
+      16 MiB default and the 1 GiB fixmap limit that still fit the image;
+    - FGKASLR: the base entropy {e plus} the permutation entropy of the
+      function sections, log2(n!) — astronomically larger, though what
+      matters practically is the per-leak exposure measured by
+      {!Attack}. *)
+
+type report = {
+  scheme : string;
+  base_slots : int;  (** distinct virtual bases *)
+  base_bits : float;
+  permutation_bits : float;  (** 0 for coarse KASLR *)
+  total_bits : float;
+}
+
+val kaslr : image_memsz:int -> report
+(** [kaslr ~image_memsz] for a kernel occupying [image_memsz] bytes of
+    virtual space (use modelled size for paper-scale numbers). *)
+
+val fgkaslr : image_memsz:int -> functions:int -> report
+
+val nokaslr : report
+(** One layout, zero bits. *)

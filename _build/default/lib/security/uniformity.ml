@@ -1,0 +1,66 @@
+let chi_square ~observed =
+  let k = Array.length observed in
+  if k = 0 then invalid_arg "Uniformity.chi_square: no bins";
+  let total = Array.fold_left ( + ) 0 observed in
+  if total = 0 then invalid_arg "Uniformity.chi_square: no samples";
+  let expected = float_of_int total /. float_of_int k in
+  Array.fold_left
+    (fun acc o ->
+      let d = float_of_int o -. expected in
+      acc +. (d *. d /. expected))
+    0. observed
+
+let z_of_alpha = function
+  | 0.05 -> 1.6449
+  | 0.01 -> 2.3263
+  | 0.001 -> 3.0902
+  | a -> invalid_arg (Printf.sprintf "Uniformity.critical_value: alpha %g" a)
+
+(* Wilson–Hilferty: chi2_q ≈ df (1 - 2/(9 df) + z sqrt(2/(9 df)))^3 *)
+let critical_value ~df ~alpha =
+  let z = z_of_alpha alpha in
+  let d = float_of_int df in
+  let t = 1. -. (2. /. (9. *. d)) +. (z *. sqrt (2. /. (9. *. d))) in
+  d *. t *. t *. t
+
+type verdict = {
+  slots : int;
+  draws : int;
+  statistic : float;
+  threshold : float;
+  uniform : bool;
+}
+
+let verdict ~observed ~draws =
+  let slots = Array.length observed in
+  let statistic = chi_square ~observed in
+  let threshold = critical_value ~df:(slots - 1) ~alpha:0.01 in
+  { slots; draws; statistic; threshold; uniform = statistic < threshold }
+
+let test_virtual_offsets ~image_memsz ~draws ~seed =
+  let slots = Imk_randomize.Kaslr.virtual_slots ~image_memsz in
+  let observed = Array.make slots 0 in
+  let master = Imk_entropy.Prng.create ~seed in
+  let lo = Imk_memory.Addr.kmap_base + Imk_memory.Addr.default_phys_load in
+  let first = Imk_memory.Addr.align_up lo Imk_memory.Addr.kernel_align in
+  for _ = 1 to draws do
+    (* each boot gets a fresh generator, as VM instances do *)
+    let rng = Imk_entropy.Prng.split master in
+    let base = Imk_randomize.Kaslr.choose_virtual rng ~image_memsz in
+    let slot = (base - first) / Imk_memory.Addr.kernel_align in
+    observed.(slot) <- observed.(slot) + 1
+  done;
+  verdict ~observed ~draws
+
+let test_permutation_positions ~sections ~draws ~seed =
+  let observed = Array.make sections 0 in
+  let master = Imk_entropy.Prng.create ~seed in
+  for _ = 1 to draws do
+    let rng = Imk_entropy.Prng.split master in
+    let perm = Imk_entropy.Shuffle.permutation rng sections in
+    (* position of element 0 after the shuffle *)
+    let pos = ref 0 in
+    Array.iteri (fun i v -> if v = 0 then pos := i) perm;
+    observed.(!pos) <- observed.(!pos) + 1
+  done;
+  verdict ~observed ~draws

@@ -1,0 +1,37 @@
+(** Statistical check of offset-selection uniformity.
+
+    §4.3 claims in-monitor randomization provides "entropy equivalent to
+    that of Linux" because the slot-selection algorithm is shared. The
+    entropy claim needs every aligned slot to be equiprobable — a biased
+    generator would silently lose bits. This module tests that with a
+    chi-square goodness-of-fit over many independent offset draws, using
+    the Wilson–Hilferty approximation for the critical value (exact
+    enough at hundreds of degrees of freedom). *)
+
+val chi_square : observed:int array -> float
+(** [chi_square ~observed] is the statistic against the uniform
+    expectation (total/slots per bin). Raises [Invalid_argument] on empty
+    input or zero total. *)
+
+val critical_value : df:int -> alpha:float -> float
+(** [critical_value ~df ~alpha] approximates the upper-[alpha] quantile
+    of the chi-square distribution (supported [alpha]: 0.05, 0.01,
+    0.001). *)
+
+type verdict = {
+  slots : int;
+  draws : int;
+  statistic : float;
+  threshold : float;  (** critical value at the 1% level *)
+  uniform : bool;  (** statistic below threshold *)
+}
+
+val test_virtual_offsets : image_memsz:int -> draws:int -> seed:int64 -> verdict
+(** [test_virtual_offsets ~image_memsz ~draws ~seed] draws KASLR virtual
+    bases with fresh generators (split per draw, as VM boots are) and
+    tests slot uniformity at the 1% level. *)
+
+val test_permutation_positions : sections:int -> draws:int -> seed:int64 -> verdict
+(** [test_permutation_positions ~sections ~draws ~seed] checks FGKASLR's
+    shuffle: where the {e first} section lands must be uniform over all
+    positions. *)

@@ -1,0 +1,1 @@
+lib/storage/page_cache.mli: Disk

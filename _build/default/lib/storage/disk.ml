@@ -1,0 +1,12 @@
+type t = { files : (string, bytes) Hashtbl.t }
+
+let create () = { files = Hashtbl.create 16 }
+let add t ~name data = Hashtbl.replace t.files name data
+let find t name =
+  match Hashtbl.find_opt t.files name with
+  | Some b -> b
+  | None -> raise Not_found
+
+let mem t name = Hashtbl.mem t.files name
+let size t name = Bytes.length (find t name)
+let names t = Hashtbl.fold (fun k _ acc -> k :: acc) t.files []

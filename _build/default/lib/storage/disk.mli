@@ -1,0 +1,22 @@
+(** The host's storage: named immutable images (kernels, relocs files,
+    rootfs). Reads go through {!Page_cache}, which decides whether a read
+    is served from SSD or memory — the cached/uncached distinction at the
+    heart of the paper's Figure 4. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> name:string -> bytes -> unit
+(** [add t ~name data] stores an image. Replaces any previous image of the
+    same name (and the page cache must be invalidated by the caller —
+    {!Page_cache.drop_caches} — as a rewritten file's cached pages are
+    stale). *)
+
+val find : t -> string -> bytes
+(** [find t name] returns the image contents (shared, do not mutate).
+    Raises [Not_found]. *)
+
+val mem : t -> string -> bool
+val size : t -> string -> int
+val names : t -> string list

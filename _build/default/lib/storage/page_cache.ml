@@ -1,0 +1,17 @@
+type t = { disk : Disk.t; cached : (string, unit) Hashtbl.t }
+
+let create disk = { disk; cached = Hashtbl.create 16 }
+
+let read t name =
+  let contents = Disk.find t.disk name in
+  let was_cached = Hashtbl.mem t.cached name in
+  Hashtbl.replace t.cached name ();
+  (contents, was_cached)
+
+let warm t name =
+  if Disk.mem t.disk name then Hashtbl.replace t.cached name ()
+  else raise Not_found
+
+let drop_caches t = Hashtbl.reset t.cached
+let disk t = t.disk
+let is_cached t name = Hashtbl.mem t.cached name

@@ -1,0 +1,27 @@
+(** The host page cache (whole-file granularity).
+
+    The paper's methodology warms the cache by booting each kernel five
+    times and, for the cold-cache experiments, drops pagecache/dentries/
+    inodes before each boot (§2.2). Reads through this module report
+    whether they hit the cache, so the boot path can charge SSD or memcpy
+    rates accordingly; a read also populates the cache, as in Linux. *)
+
+type t
+
+val create : Disk.t -> t
+
+val read : t -> string -> bytes * bool
+(** [read t name] returns [(contents, was_cached)] and marks the file
+    cached. Raises [Not_found] for unknown files. *)
+
+val warm : t -> string -> unit
+(** [warm t name] pre-populates the cache (the five warm-up boots). *)
+
+val drop_caches : t -> unit
+(** [drop_caches t] empties the cache — the cold-cache protocol. *)
+
+val is_cached : t -> string -> bool
+
+val disk : t -> Disk.t
+(** The backing disk (for existence checks that must not populate the
+    cache). *)

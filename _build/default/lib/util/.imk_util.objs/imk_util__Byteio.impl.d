@@ -1,0 +1,1 @@
+lib/util/byteio.ml: Buffer Bytes Char Int32 Int64 Printf String

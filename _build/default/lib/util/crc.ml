@@ -1,0 +1,34 @@
+let crc_table =
+  lazy
+    (let t = Array.make 256 0 in
+     for n = 0 to 255 do
+       let c = ref n in
+       for _ = 0 to 7 do
+         if !c land 1 <> 0 then c := 0xedb88320 lxor (!c lsr 1)
+         else c := !c lsr 1
+       done;
+       t.(n) <- !c
+     done;
+     t)
+
+let crc32 ?(init = 0) b off len =
+  let t = Lazy.force crc_table in
+  let c = ref (init lxor 0xffffffff) in
+  for i = off to off + len - 1 do
+    let idx = (!c lxor Char.code (Bytes.get b i)) land 0xff in
+    c := t.(idx) lxor (!c lsr 8)
+  done;
+  !c lxor 0xffffffff
+
+let crc32_string s =
+  let b = Bytes.unsafe_of_string s in
+  crc32 b 0 (Bytes.length b)
+
+let adler32 ?(init = 1) b off len =
+  let base = 65521 in
+  let a = ref (init land 0xffff) and bsum = ref ((init lsr 16) land 0xffff) in
+  for i = off to off + len - 1 do
+    a := (!a + Char.code (Bytes.get b i)) mod base;
+    bsum := (!bsum + !a) mod base
+  done;
+  (!bsum lsl 16) lor !a

@@ -1,0 +1,18 @@
+(** Integrity checksums used by the compression container formats.
+
+    CRC-32 (IEEE 802.3 polynomial, as in gzip/xz) and Adler-32 (as in
+    zlib). Both are implemented from scratch; values match the standard
+    algorithms so container self-checks behave like their real
+    counterparts. *)
+
+val crc32 : ?init:int -> bytes -> int -> int -> int
+(** [crc32 ?init b off len] computes the CRC-32 of [len] bytes of [b]
+    starting at [off]. [init] (default 0) allows incremental computation:
+    feed the previous result back in. The result is in [0, 0xffffffff]. *)
+
+val crc32_string : string -> int
+(** [crc32_string s] is the CRC-32 of all of [s]. *)
+
+val adler32 : ?init:int -> bytes -> int -> int -> int
+(** [adler32 ?init b off len] computes Adler-32 over the given range.
+    [init] defaults to 1 as specified by zlib. *)

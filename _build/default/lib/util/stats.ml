@@ -1,0 +1,62 @@
+type summary = {
+  n : int;
+  mean : float;
+  min : float;
+  max : float;
+  stddev : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then invalid_arg "Stats.percentile: empty array";
+  if p <= 0. then sorted.(0)
+  else if p >= 100. then sorted.(n - 1)
+  else
+    let rank = p /. 100. *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = int_of_float (Float.ceil rank) in
+    let frac = rank -. float_of_int lo in
+    (sorted.(lo) *. (1. -. frac)) +. (sorted.(hi) *. frac)
+
+let summarize_array xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.summarize: no samples";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let sum = Array.fold_left ( +. ) 0. xs in
+  let mean = sum /. float_of_int n in
+  let var =
+    Array.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.)) 0. xs
+    /. float_of_int n
+  in
+  {
+    n;
+    mean;
+    min = sorted.(0);
+    max = sorted.(n - 1);
+    stddev = sqrt var;
+    p50 = percentile sorted 50.;
+    p90 = percentile sorted 90.;
+    p99 = percentile sorted 99.;
+  }
+
+let summarize xs = summarize_array (Array.of_list xs)
+
+let mean xs =
+  match xs with
+  | [] -> invalid_arg "Stats.mean: no samples"
+  | _ -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let ratio a b =
+  if b = 0. then invalid_arg "Stats.ratio: division by zero" else a /. b
+
+let pct_change base v =
+  if base = 0. then invalid_arg "Stats.pct_change: zero base"
+  else (v -. base) /. base *. 100.
+
+let pp_summary ppf s =
+  Format.fprintf ppf "n=%d mean=%.3f min=%.3f max=%.3f sd=%.3f p50=%.3f" s.n
+    s.mean s.min s.max s.stddev s.p50

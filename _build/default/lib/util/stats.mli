@@ -1,0 +1,40 @@
+(** Descriptive statistics for benchmark runs.
+
+    The paper reports the average of 100 boots with min/max error bars
+    (§5.1); [summary] captures exactly that, plus stddev and percentiles
+    for the extended analyses. *)
+
+type summary = {
+  n : int;  (** number of samples *)
+  mean : float;
+  min : float;
+  max : float;
+  stddev : float;  (** population standard deviation *)
+  p50 : float;  (** median *)
+  p90 : float;
+  p99 : float;
+}
+
+val summarize : float list -> summary
+(** [summarize xs] computes a [summary] of the samples. Raises
+    [Invalid_argument] on the empty list. *)
+
+val summarize_array : float array -> summary
+(** [summarize_array xs] is [summarize] over an array (not modified). *)
+
+val mean : float list -> float
+(** [mean xs] is the arithmetic mean. Raises [Invalid_argument] on []. *)
+
+val percentile : float array -> float -> float
+(** [percentile sorted p] reads percentile [p] (in [0,100]) from an array
+    that is already sorted ascending, using linear interpolation. *)
+
+val ratio : float -> float -> float
+(** [ratio a b] is [a /. b]; raises [Invalid_argument] if [b = 0.]. *)
+
+val pct_change : float -> float -> float
+(** [pct_change base v] is the percentage change of [v] relative to [base],
+    e.g. [pct_change 100. 104. = 4.]. *)
+
+val pp_summary : Format.formatter -> summary -> unit
+(** Pretty-printer used in experiment reports. *)

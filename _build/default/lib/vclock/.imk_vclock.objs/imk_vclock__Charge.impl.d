@@ -1,0 +1,1 @@
+lib/vclock/charge.ml: Clock Cost_model Imk_entropy Trace

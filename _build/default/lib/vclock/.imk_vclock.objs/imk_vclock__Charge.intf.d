@@ -1,0 +1,1 @@
+lib/vclock/charge.mli: Clock Cost_model Imk_entropy Trace

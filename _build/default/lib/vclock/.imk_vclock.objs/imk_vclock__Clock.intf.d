@@ -1,0 +1,1 @@
+lib/vclock/clock.mli:

@@ -1,0 +1,1 @@
+lib/vclock/cost_model.ml: Float Imk_entropy List

@@ -1,0 +1,1 @@
+lib/vclock/cost_model.mli: Imk_entropy

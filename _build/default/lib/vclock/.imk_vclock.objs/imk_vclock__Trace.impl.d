@@ -1,0 +1,1 @@
+lib/vclock/trace.ml: Clock Format Imk_util List String

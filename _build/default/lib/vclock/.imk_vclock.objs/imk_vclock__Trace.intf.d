@@ -1,0 +1,1 @@
+lib/vclock/trace.mli: Clock Format

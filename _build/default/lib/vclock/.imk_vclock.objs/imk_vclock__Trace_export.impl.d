@@ -1,0 +1,1 @@
+lib/vclock/trace_export.ml: Buffer Char List Printf String Trace

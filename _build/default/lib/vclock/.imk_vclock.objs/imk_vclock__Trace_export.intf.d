@@ -1,0 +1,1 @@
+lib/vclock/trace_export.mli: Trace

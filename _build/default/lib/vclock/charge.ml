@@ -1,0 +1,21 @@
+type t = {
+  trace : Trace.t;
+  cm : Cost_model.t;
+  jitter : Imk_entropy.Prng.t option;
+}
+
+let create ?jitter trace cm = { trace; cm; jitter }
+let trace t = t.trace
+let model t = t.cm
+let clock t = Trace.clock t.trace
+let span t phase label f = Trace.with_span t.trace phase label f
+
+let pay t ns =
+  let ns =
+    match t.jitter with
+    | None -> ns
+    | Some rng -> Cost_model.jitter t.cm rng ns
+  in
+  Clock.advance (Trace.clock t.trace) ns
+
+let pay_span t phase label ns = span t phase label (fun () -> pay t ns)

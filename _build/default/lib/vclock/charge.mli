@@ -1,0 +1,24 @@
+(** Charging context: a trace, a cost model, and optional run-to-run
+    jitter.
+
+    Boot paths thread one of these through their phases instead of three
+    separate values. When a jitter generator is present every payment is
+    perturbed by ~1% gaussian noise, producing the min/max spread the
+    paper's error bars show; without one, boots are exactly
+    deterministic (the mode tests use). *)
+
+type t
+
+val create : ?jitter:Imk_entropy.Prng.t -> Trace.t -> Cost_model.t -> t
+val trace : t -> Trace.t
+val model : t -> Cost_model.t
+val clock : t -> Clock.t
+
+val span : t -> Trace.phase -> string -> (unit -> 'a) -> 'a
+(** [span t phase label f] is [Trace.with_span] on the context's trace. *)
+
+val pay : t -> int -> unit
+(** [pay t ns] advances the clock by [ns] (jittered when enabled). *)
+
+val pay_span : t -> Trace.phase -> string -> int -> unit
+(** [pay_span t phase label ns] opens a span just to charge [ns]. *)

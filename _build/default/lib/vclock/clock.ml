@@ -1,0 +1,11 @@
+type t = { mutable ns : int }
+
+let create () = { ns = 0 }
+let now t = t.ns
+
+let advance t d =
+  if d < 0 then invalid_arg "Clock.advance: negative duration";
+  t.ns <- t.ns + d
+
+let reset t = t.ns <- 0
+let elapsed_since t mark = t.ns - mark

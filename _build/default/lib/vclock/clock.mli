@@ -1,0 +1,26 @@
+(** The virtual clock.
+
+    Every simulated boot charges its work to one of these clocks instead of
+    reading wall time, which makes experiments deterministic and
+    machine-independent (DESIGN.md §4, "virtual time, real work"). Time is
+    an integer count of virtual nanoseconds since [create]/[reset]. *)
+
+type t
+
+val create : unit -> t
+(** [create ()] is a clock at time 0. *)
+
+val now : t -> int
+(** [now t] is the current virtual time in nanoseconds. *)
+
+val advance : t -> int -> unit
+(** [advance t ns] moves the clock forward. Raises [Invalid_argument] on a
+    negative amount — simulated operations never take negative time, and a
+    negative cost always indicates a modelling bug. *)
+
+val reset : t -> unit
+(** [reset t] rewinds the clock to 0 (used between repeated boots of the
+    same VM configuration). *)
+
+val elapsed_since : t -> int -> int
+(** [elapsed_since t mark] is [now t - mark]. *)

@@ -1,0 +1,103 @@
+type t = {
+  cold_read_bps : float;
+  cached_read_bps : float;
+  host_memcpy_bps : float;
+  guest_memcpy_bps : float;
+  zero_bps : float;
+  early_zero_bps : float;
+  pte_write_ns : float;
+  loader_fixed_ns : float;
+  reloc_ns_monitor : float;
+  reloc_ns_guest : float;
+  reloc_search_step_ns : float;
+  section_shuffle_ns : float;
+  symbol_fixup_ns : float;
+  extab_fixup_ns : float;
+  kallsyms_ns_per_sym : float;
+  elf_parse_base_ns : float;
+  elf_parse_section_ns : float;
+  page_table_ns_per_mib : float;
+  vmm_entry_ns : float;
+}
+
+let default =
+  {
+    cold_read_bps = 500e6;
+    cached_read_bps = 8e9;
+    host_memcpy_bps = 8e9;
+    guest_memcpy_bps = 2.5e9;
+    zero_bps = 10e9;
+    early_zero_bps = 2.5e9;
+    pte_write_ns = 20.;
+    loader_fixed_ns = 2_500_000.;
+    reloc_ns_monitor = 12.;
+    reloc_ns_guest = 16.;
+    reloc_search_step_ns = 4.;
+    section_shuffle_ns = 800.;
+    symbol_fixup_ns = 90.;
+    extab_fixup_ns = 60.;
+    kallsyms_ns_per_sym = 600.;
+    elf_parse_base_ns = 12_000.;
+    elf_parse_section_ns = 35.;
+    page_table_ns_per_mib = 450.;
+    vmm_entry_ns = 300_000.;
+  }
+
+let ns_of_float f = int_of_float (Float.round (Float.max 0. f))
+
+let bytes_at_rate bytes bps = ns_of_float (float_of_int bytes /. bps *. 1e9)
+
+let read_cost t ~cached bytes =
+  bytes_at_rate bytes (if cached then t.cached_read_bps else t.cold_read_bps)
+
+let memcpy_cost t ~in_guest bytes =
+  bytes_at_rate bytes (if in_guest then t.guest_memcpy_bps else t.host_memcpy_bps)
+
+let zero_cost t bytes = bytes_at_rate bytes t.zero_bps
+
+let reloc_cost t ~in_guest ~entries =
+  let per = if in_guest then t.reloc_ns_guest else t.reloc_ns_monitor in
+  ns_of_float (float_of_int entries *. per)
+
+let fg_reloc_cost t ~in_guest ~entries ~sections =
+  let steps =
+    if sections <= 1 then 1.
+    else Float.round (log (float_of_int sections) /. log 2.)
+  in
+  let search = float_of_int entries *. steps *. t.reloc_search_step_ns in
+  reloc_cost t ~in_guest ~entries + ns_of_float search
+
+let elf_parse_cost t ~sections =
+  ns_of_float (t.elf_parse_base_ns +. (float_of_int sections *. t.elf_parse_section_ns))
+
+(* Output-side decompression rates, bytes of *decompressed* data per
+   second. Relative order follows published benchmarks (lzbench on
+   Haswell-class cores): lz4 is the fastest decompressor, lzma the
+   slowest; this ordering is what makes LZ4 win Figure 3. *)
+let rate_table =
+  [
+    ("none", infinity);
+    ("lz4", 2.0e9);
+    ("lzo", 8.0e8);
+    ("gzip", 3.0e8);
+    ("bzip2", 1.0e8);
+    ("xz", 8.0e7);
+    ("lzma", 7.0e7);
+  ]
+
+let decompress_rate_bps ~codec =
+  match List.assoc_opt codec rate_table with
+  | Some r -> r
+  | None -> invalid_arg ("Cost_model.decompress_rate_bps: unknown codec " ^ codec)
+
+let decompress_cost t ~codec ~out_bytes =
+  ignore t;
+  let rate = decompress_rate_bps ~codec in
+  if rate = infinity then 0 else bytes_at_rate out_bytes rate
+
+let jitter _t rng ns =
+  let noisy =
+    Imk_entropy.Prng.gaussian rng ~mean:(float_of_int ns)
+      ~stddev:((float_of_int ns *. 0.01) +. 20_000.)
+  in
+  ns_of_float (Float.max (float_of_int ns *. 0.9) noisy)

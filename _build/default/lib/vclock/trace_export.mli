@@ -1,0 +1,14 @@
+(** Trace export in Chrome tracing format.
+
+    The paper's methodology visualizes per-phase timelines from perf
+    traces; this produces the equivalent artifact for simulated boots: a
+    JSON array loadable by chrome://tracing or Perfetto, one complete
+    event per span, microsecond timestamps, phases as categories. *)
+
+val to_chrome_json : ?process_name:string -> Trace.t -> string
+(** [to_chrome_json trace] renders every span (including nested ones) as
+    a Chrome "X" (complete) event. Zero-length tracepoints become "i"
+    (instant) events. *)
+
+val write_file : ?process_name:string -> Trace.t -> path:string -> unit
+(** [write_file trace ~path] writes {!to_chrome_json} output. *)

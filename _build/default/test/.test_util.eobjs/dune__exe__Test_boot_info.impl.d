@@ -1,0 +1,1 @@
+test/test_boot_info.ml: Alcotest Array Boot_info Bytes Char Gen Imk_guest Imk_kernel Imk_lebench Imk_memory Imk_monitor Imk_storage List QCheck QCheck_alcotest String Testkit Vm_config Vmm

@@ -1,0 +1,1 @@
+test/test_devices.ml: Alcotest Bytes Devices Imk_guest Imk_kernel Imk_monitor Imk_storage Imk_vclock List Profiles Testkit Vm_config Vmm

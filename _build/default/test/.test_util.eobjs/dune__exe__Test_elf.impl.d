@@ -1,0 +1,1 @@
+test/test_elf.ml: Alcotest Array Builder Bytes Char Fun Imk_elf Imk_entropy Imk_memory Imk_util Layout List Note Parser Printf QCheck QCheck_alcotest Relocation String Types Writer

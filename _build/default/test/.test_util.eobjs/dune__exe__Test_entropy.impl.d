@@ -1,0 +1,1 @@
+test/test_entropy.ml: Alcotest Array Fun Imk_entropy Pool Prng QCheck QCheck_alcotest Shuffle

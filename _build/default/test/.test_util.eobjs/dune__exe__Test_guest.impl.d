@@ -1,0 +1,1 @@
+test/test_guest.ml: Alcotest Bytes Imk_elf Imk_guest Imk_kernel Imk_memory Imk_monitor Imk_vclock QCheck QCheck_alcotest Testkit Vm_config Vmm

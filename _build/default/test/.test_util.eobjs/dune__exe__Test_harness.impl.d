@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Boot_runner Bzimage Config Experiments Imk_harness Imk_kernel Imk_monitor Imk_storage Imk_util List String Workspace

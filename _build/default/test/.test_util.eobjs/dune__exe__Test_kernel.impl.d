@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Array Bytes Bzimage Char Config Function_graph Image Imk_compress Imk_elf Imk_kernel List QCheck QCheck_alcotest Relocs_tool Unikernel

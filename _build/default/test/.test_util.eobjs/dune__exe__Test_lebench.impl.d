@@ -1,0 +1,1 @@
+test/test_lebench.ml: Alcotest Array Imk_entropy Imk_guest Imk_kernel Imk_lebench Imk_memory Imk_monitor List Testkit Vm_config Vmm

@@ -1,0 +1,1 @@
+test/test_memory.ml: Addr Alcotest Bytes Gen Guest_mem Imk_memory Imk_util List Page_table QCheck QCheck_alcotest

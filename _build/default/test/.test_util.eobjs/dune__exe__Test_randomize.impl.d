@@ -1,0 +1,1 @@
+test/test_randomize.ml: Addr Alcotest Array Fgkaslr Guest_mem Imk_elf Imk_entropy Imk_memory Imk_randomize Kaslr List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_security.ml: Alcotest Array Imk_entropy Imk_kernel Imk_monitor Imk_security Imk_util List QCheck QCheck_alcotest Testkit Vm_config Vmm

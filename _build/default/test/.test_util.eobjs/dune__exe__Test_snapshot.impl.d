@@ -1,0 +1,1 @@
+test/test_snapshot.ml: Alcotest Hashtbl Imk_entropy Imk_guest Imk_memory Imk_monitor Imk_vclock Snapshot Testkit Vm_config Vmm Zygote

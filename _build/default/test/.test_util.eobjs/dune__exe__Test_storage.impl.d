@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Bytes Disk Imk_storage Page_cache

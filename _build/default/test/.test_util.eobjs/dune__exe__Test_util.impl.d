@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Byteio Bytes Char Crc Gen Imk_util QCheck QCheck_alcotest Stats String Table Units

@@ -1,0 +1,1 @@
+test/test_vclock.ml: Alcotest Clock Cost_model Imk_entropy Imk_util Imk_vclock List QCheck QCheck_alcotest String Trace Trace_export

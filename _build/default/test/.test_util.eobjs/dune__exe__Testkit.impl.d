@@ -1,0 +1,1 @@
+test/testkit.ml: Imk_kernel Imk_monitor Imk_storage Imk_vclock Option Printf Vm_config Vmm

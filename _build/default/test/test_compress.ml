@@ -1,0 +1,433 @@
+(* Tests for Imk_compress: format-level units for each codec stage and
+   round-trip properties for every registered codec on adversarial inputs. *)
+
+open Imk_compress
+
+let check = Alcotest.check
+let int = Alcotest.int
+
+let bytes_testable =
+  Alcotest.testable
+    (fun ppf b -> Format.fprintf ppf "%S" (Bytes.to_string b))
+    Bytes.equal
+
+(* deterministic sample inputs covering the codec edge cases *)
+let samples =
+  [
+    ("empty", Bytes.create 0);
+    ("one byte", Bytes.of_string "x");
+    ("all zeros", Bytes.make 4096 '\000');
+    ("all same", Bytes.make 1000 'a');
+    ("short text", Bytes.of_string "the quick brown fox jumps over the lazy dog");
+    ( "repetitive",
+      Bytes.of_string (String.concat "" (List.init 200 (fun _ -> "abcdefgh"))) );
+    ( "incompressible",
+      let rng = Imk_entropy.Prng.create ~seed:99L in
+      Bytes.init 8192 (fun _ -> Char.chr (Imk_entropy.Prng.next_int rng 256)) );
+    ( "kernel-ish",
+      (* mix of repeated opcode-like patterns and embedded addresses *)
+      let rng = Imk_entropy.Prng.create ~seed:7L in
+      let b = Bytes.create 32768 in
+      for i = 0 to (Bytes.length b / 16) - 1 do
+        let pat = Imk_entropy.Prng.next_int rng 4 in
+        for j = 0 to 15 do
+          Bytes.set b ((i * 16) + j)
+            (Char.chr ((pat * 16) + (j land 7) + if j = 15 then Imk_entropy.Prng.next_int rng 16 else 0))
+        done
+      done;
+      b );
+  ]
+
+let roundtrip_case codec (label, input) () =
+  let compressed = codec.Codec.compress input in
+  let out = codec.Codec.decompress compressed in
+  check bytes_testable (codec.Codec.name ^ " roundtrip " ^ label) input out
+
+let roundtrip_tests codec =
+  List.map
+    (fun ((label, _) as sample) ->
+      Alcotest.test_case (codec.Codec.name ^ "/" ^ label) `Quick
+        (roundtrip_case codec sample))
+    samples
+
+let test_frame_rejects_wrong_codec () =
+  let data = Bytes.of_string "hello hello hello hello" in
+  let compressed = Lz4.codec.Codec.compress data in
+  Alcotest.check_raises "codec mismatch"
+    (Codec.Corrupt "frame: payload is not gzip") (fun () ->
+      ignore (Gzip.codec.Codec.decompress compressed))
+
+let test_frame_rejects_truncated () =
+  Alcotest.check_raises "truncated" (Codec.Corrupt "frame: truncated header")
+    (fun () -> ignore (Lz4.codec.Codec.decompress (Bytes.create 3)))
+
+let test_frame_detects_corruption () =
+  let data = Bytes.of_string (String.concat "-" (List.init 64 string_of_int)) in
+  let compressed = Store.codec.Codec.compress data in
+  (* flip a payload byte past the header *)
+  let i = Bytes.length compressed - 1 in
+  Bytes.set compressed i (Char.chr (Char.code (Bytes.get compressed i) lxor 1));
+  check Alcotest.bool "corrupt raises" true
+    (try
+       ignore (Store.codec.Codec.decompress compressed);
+       false
+     with Codec.Corrupt _ -> true)
+
+let test_registry_contents () =
+  check int "seven codecs" 7 (List.length Registry.all);
+  check int "six bakeoff codecs" 6 (List.length Registry.bakeoff_codecs);
+  check Alcotest.string "find lz4" "lz4" (Registry.find "lz4").Codec.name;
+  check Alcotest.bool "unknown" true (Registry.find_opt "zip" = None)
+
+let test_compression_actually_compresses () =
+  (* on a repetitive input every real codec must beat store *)
+  let input = Bytes.make 65536 'k' in
+  List.iter
+    (fun codec ->
+      let ratio =
+        float_of_int (Bytes.length input)
+        /. float_of_int (Bytes.length (codec.Codec.compress input))
+      in
+      check Alcotest.bool (codec.Codec.name ^ " compresses") true (ratio > 4.))
+    Registry.bakeoff_codecs
+
+let test_ratio_ordering_on_kernel_like_data () =
+  (* lzma/xz should beat gzip, gzip should beat lzo on structured data —
+     the ratio ordering behind Table 1 *)
+  let rng = Imk_entropy.Prng.create ~seed:123L in
+  let b = Bytes.create 262144 in
+  for i = 0 to (Bytes.length b / 8) - 1 do
+    let v = Imk_entropy.Prng.next_int rng 64 in
+    for j = 0 to 7 do
+      Bytes.set b ((i * 8) + j) (Char.chr ((v + (j * 3)) land 0xff))
+    done
+  done;
+  let size name = Bytes.length ((Registry.find name).Codec.compress b) in
+  check Alcotest.bool "lzma <= gzip" true (size "lzma" <= size "gzip");
+  check Alcotest.bool "gzip <= lzo" true (size "gzip" <= size "lzo")
+
+(* --- bit I/O --- *)
+
+let test_bitio_roundtrip () =
+  let w = Bitio.Writer.create () in
+  Bitio.Writer.put_bits w 0b101 3;
+  Bitio.Writer.put_bits w 0xbeef 16;
+  Bitio.Writer.put_bit w 1;
+  let data = Bitio.Writer.contents w in
+  let r = Bitio.Reader.create data ~pos:0 in
+  check int "3 bits" 0b101 (Bitio.Reader.get_bits r 3);
+  check int "16 bits" 0xbeef (Bitio.Reader.get_bits r 16);
+  check int "1 bit" 1 (Bitio.Reader.get_bit r)
+
+let test_bitio_align () =
+  let w = Bitio.Writer.create () in
+  Bitio.Writer.put_bits w 1 1;
+  Bitio.Writer.align_byte w;
+  Bitio.Writer.put_bits w 0xff 8;
+  let data = Bitio.Writer.contents w in
+  check int "two bytes" 2 (Bytes.length data);
+  let r = Bitio.Reader.create data ~pos:0 in
+  check int "first" 1 (Bitio.Reader.get_bit r);
+  Bitio.Reader.align_byte r;
+  check int "second byte" 0xff (Bitio.Reader.get_bits r 8)
+
+let test_bitio_truncated () =
+  let r = Bitio.Reader.create (Bytes.create 0) ~pos:0 in
+  check Alcotest.bool "raises" true
+    (try
+       ignore (Bitio.Reader.get_bit r);
+       false
+     with Bitio.Reader.Truncated -> true)
+
+(* --- Huffman --- *)
+
+let test_huffman_roundtrip () =
+  let freqs = [| 45; 13; 12; 16; 9; 5; 0; 1 |] in
+  let lens = Huffman.lengths_of_freqs freqs in
+  check int "zero freq no code" 0 lens.(6);
+  check Alcotest.bool "kraft valid" true (Huffman.kraft_sum_valid lens);
+  let enc = Huffman.encoder_of_lengths lens in
+  let dec = Huffman.decoder_of_lengths lens in
+  let syms = [ 0; 1; 2; 3; 4; 5; 7; 0; 0; 4 ] in
+  let w = Bitio.Writer.create () in
+  List.iter (fun s -> Huffman.encode enc w s) syms;
+  let r = Bitio.Reader.create (Bitio.Writer.contents w) ~pos:0 in
+  List.iter (fun s -> check int "sym" s (Huffman.decode dec r)) syms
+
+let test_huffman_single_symbol () =
+  let lens = Huffman.lengths_of_freqs [| 0; 10; 0 |] in
+  check int "single symbol gets len 1" 1 lens.(1)
+
+let test_huffman_max_len_respected () =
+  (* fibonacci-ish frequencies force deep trees; max_len must clamp *)
+  let freqs = Array.init 40 (fun i ->
+      let rec fib n = if n < 2 then 1 else fib (n - 1) + fib (n - 2) in
+      fib (min i 25)) in
+  let lens = Huffman.lengths_of_freqs ~max_len:15 freqs in
+  Array.iter (fun l -> check Alcotest.bool "<=15" true (l <= 15)) lens;
+  check Alcotest.bool "kraft valid" true (Huffman.kraft_sum_valid lens)
+
+let test_huffman_lengths_table_io () =
+  let lens = [| 3; 0; 2; 15; 1 |] in
+  let w = Bitio.Writer.create () in
+  Huffman.write_lengths w lens;
+  let r = Bitio.Reader.create (Bitio.Writer.contents w) ~pos:0 in
+  let back = Huffman.read_lengths r 5 in
+  Alcotest.(check (array int)) "lengths" lens back
+
+(* --- BWT / MTF / RLE2 --- *)
+
+let test_bwt_known () =
+  (* banana: a classic *)
+  let t = Bwt.forward (Bytes.of_string "banana") in
+  let back = Bwt.inverse t in
+  check bytes_testable "banana" (Bytes.of_string "banana") back
+
+let test_bwt_empty () =
+  let t = Bwt.forward (Bytes.create 0) in
+  check int "empty last column" 0 (Bytes.length t.Bwt.last_column);
+  check bytes_testable "empty" (Bytes.create 0) (Bwt.inverse t)
+
+let test_suffix_array_sorted () =
+  let b = Bytes.of_string "mississippi" in
+  let sa = Bwt.suffix_array b in
+  let n = Bytes.length b + 1 in
+  check int "length" n (Array.length sa);
+  let suffix i =
+    Bytes.sub_string b i (Bytes.length b - i) ^ "\000" (* sentinel proxy *)
+  in
+  for i = 0 to n - 2 do
+    let a = if sa.(i) = n - 1 then "" else suffix sa.(i) in
+    let c = if sa.(i + 1) = n - 1 then "" else suffix sa.(i + 1) in
+    check Alcotest.bool "sorted" true (a < c || a = "")
+  done
+
+let test_mtf_roundtrip () =
+  let input = Bytes.of_string "aaabbbcccabc\000\255" in
+  let enc = Mtf.encode input in
+  check bytes_testable "mtf" input (Mtf.decode enc);
+  (* runs become zeros after the first occurrence *)
+  check int "second a" 0 enc.(1)
+
+let test_rle2_roundtrip () =
+  let cases =
+    [ [||]; [| 0 |]; [| 0; 0; 0; 0 |]; [| 5; 0; 0; 3 |]; Array.make 100 0;
+      Array.init 50 (fun i -> i mod 7) ]
+  in
+  List.iter
+    (fun mtf ->
+      let syms = Bzip2.rle2_encode mtf in
+      Alcotest.(check (array int)) "rle2" mtf (Bzip2.rle2_decode syms))
+    cases
+
+(* --- LZ4/LZO format details --- *)
+
+let test_lz4_long_runs () =
+  (* literal runs and match lengths beyond the 15-escape *)
+  let rng = Imk_entropy.Prng.create ~seed:5L in
+  let incompressible =
+    Bytes.init 400 (fun _ -> Char.chr (Imk_entropy.Prng.next_int rng 256))
+  in
+  let long_match = Bytes.make 1000 'z' in
+  let input = Bytes.cat incompressible long_match in
+  let out = Lz4.decode_payload (Lz4.encode_payload input) ~orig_len:(Bytes.length input) in
+  check bytes_testable "long runs" input out
+
+let test_lz4_corrupt_rejected () =
+  check Alcotest.bool "corrupt raises" true
+    (try
+       ignore (Lz4.decode_payload (Bytes.of_string "\xff\xff\xff") ~orig_len:10);
+       false
+     with Codec.Corrupt _ -> true)
+
+let test_gzip_code_tables () =
+  let sym, bits, extra = Gzip.length_code 3 in
+  check int "len 3 sym" 257 sym;
+  check int "len 3 bits" 0 bits;
+  check int "len 3 extra" 0 extra;
+  let sym, _, _ = Gzip.length_code 258 in
+  check int "len 258 sym" 284 sym;
+  let sym, bits, extra = Gzip.distance_code 1 in
+  check int "dist 1" 0 sym;
+  check int "dist 1 bits" 0 bits;
+  check int "dist 1 extra" 0 extra;
+  let sym, _, _ = Gzip.distance_code 32768 in
+  check int "dist max sym" 29 sym
+
+(* --- range coder --- *)
+
+let test_range_coder_bits () =
+  let e = Range_coder.Encoder.create () in
+  let probs = Range_coder.make_probs 1 in
+  let bits = List.init 500 (fun i -> if i mod 7 = 0 then 1 else 0) in
+  List.iter (fun b -> Range_coder.Encoder.encode_bit e probs 0 b) bits;
+  let data = Range_coder.Encoder.finish e in
+  let probs' = Range_coder.make_probs 1 in
+  let d = Range_coder.Decoder.create data ~pos:0 in
+  List.iter
+    (fun b -> check int "bit" b (Range_coder.Decoder.decode_bit d probs' 0))
+    bits
+
+let test_range_coder_direct_and_tree () =
+  let e = Range_coder.Encoder.create () in
+  let tree = Range_coder.make_probs 256 in
+  Range_coder.Encoder.encode_direct e 0xabc 12;
+  Range_coder.Encoder.encode_tree e tree 0x5a 8;
+  Range_coder.Encoder.encode_direct e 0 1;
+  let data = Range_coder.Encoder.finish e in
+  let tree' = Range_coder.make_probs 256 in
+  let d = Range_coder.Decoder.create data ~pos:0 in
+  check int "direct" 0xabc (Range_coder.Decoder.decode_direct d 12);
+  check int "tree" 0x5a (Range_coder.Decoder.decode_tree d tree' 8);
+  check int "direct single" 0 (Range_coder.Decoder.decode_direct d 1)
+
+let test_range_coder_skewed_compresses () =
+  (* heavily skewed bit streams should code well below 1 bit per symbol *)
+  let e = Range_coder.Encoder.create () in
+  let probs = Range_coder.make_probs 1 in
+  for i = 1 to 10_000 do
+    Range_coder.Encoder.encode_bit e probs 0 (if i mod 100 = 0 then 1 else 0)
+  done;
+  let data = Range_coder.Encoder.finish e in
+  check Alcotest.bool "well under 1250 bytes" true (Bytes.length data < 400)
+
+(* --- qcheck round-trip properties for all codecs --- *)
+
+let arbitrary_input =
+  QCheck.(
+    map
+      (fun (mode, s, n) ->
+        match mode mod 3 with
+        | 0 -> Bytes.of_string s
+        | 1 -> Bytes.make (n mod 2048) 'r'
+        | _ ->
+            let rng = Imk_entropy.Prng.create ~seed:(Int64.of_int n) in
+            Bytes.init (n mod 4096) (fun _ ->
+                Char.chr (Imk_entropy.Prng.next_int rng 256)))
+      (triple small_nat (string_of_size Gen.(0 -- 2048)) small_nat))
+
+let qcheck_roundtrip codec =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "%s: decompress ∘ compress = id" codec.Codec.name)
+    ~count:60 arbitrary_input
+    (fun input -> Bytes.equal input (codec.Codec.decompress (codec.Codec.compress input)))
+
+let qcheck_bwt_roundtrip =
+  QCheck.Test.make ~name:"bwt: inverse ∘ forward = id" ~count:100
+    QCheck.(string_of_size Gen.(0 -- 512))
+    (fun s ->
+      let b = Bytes.of_string s in
+      Bytes.equal b (Bwt.inverse (Bwt.forward b)))
+
+let qcheck_mtf_roundtrip =
+  QCheck.Test.make ~name:"mtf: decode ∘ encode = id" ~count:100
+    QCheck.(string_of_size Gen.(0 -- 512))
+    (fun s ->
+      let b = Bytes.of_string s in
+      Bytes.equal b (Mtf.decode (Mtf.encode b)))
+
+(* mutation oracle: flipping any byte of a compressed frame must either
+   be detected (Corrupt) or be harmless (decode to the original) — a
+   silently different output would mean the CRC failed its one job *)
+let qcheck_mutation codec =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "%s: mutations detected or harmless" codec.Codec.name)
+    ~count:40
+    QCheck.(triple (string_of_size Gen.(1 -- 512)) small_nat small_nat)
+    (fun (s, pos, delta) ->
+      let input = Bytes.of_string s in
+      let compressed = codec.Codec.compress input in
+      let i = pos mod Bytes.length compressed in
+      Bytes.set compressed i
+        (Char.chr (Char.code (Bytes.get compressed i) lxor (1 + (delta mod 255))));
+      match codec.Codec.decompress compressed with
+      | out -> Bytes.equal out input
+      | exception Codec.Corrupt _ -> true)
+
+(* truncation oracle: every prefix of a frame must fail cleanly *)
+let qcheck_truncation codec =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "%s: truncations fail cleanly" codec.Codec.name)
+    ~count:40
+    QCheck.(pair (string_of_size Gen.(1 -- 256)) small_nat)
+    (fun (s, cut) ->
+      let input = Bytes.of_string s in
+      let compressed = codec.Codec.compress input in
+      let n = Bytes.length compressed in
+      let keep = cut mod n in
+      match codec.Codec.decompress (Bytes.sub compressed 0 keep) with
+      | out -> Bytes.equal out input (* only possible if nothing was lost *)
+      | exception Codec.Corrupt _ -> true)
+
+let qcheck_huffman_kraft =
+  QCheck.Test.make ~name:"huffman lengths always satisfy kraft" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 64) (int_bound 10_000))
+    (fun freqs ->
+      let lens = Huffman.lengths_of_freqs (Array.of_list freqs) in
+      Huffman.kraft_sum_valid lens)
+
+let () =
+  Alcotest.run "imk_compress"
+    [
+      ("bitio",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_bitio_roundtrip;
+          Alcotest.test_case "align" `Quick test_bitio_align;
+          Alcotest.test_case "truncated" `Quick test_bitio_truncated;
+        ] );
+      ( "huffman",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_huffman_roundtrip;
+          Alcotest.test_case "single symbol" `Quick test_huffman_single_symbol;
+          Alcotest.test_case "max_len clamp" `Quick test_huffman_max_len_respected;
+          Alcotest.test_case "length table io" `Quick
+            test_huffman_lengths_table_io;
+          QCheck_alcotest.to_alcotest qcheck_huffman_kraft;
+        ] );
+      ( "bwt+mtf",
+        [
+          Alcotest.test_case "bwt banana" `Quick test_bwt_known;
+          Alcotest.test_case "bwt empty" `Quick test_bwt_empty;
+          Alcotest.test_case "suffix array sorted" `Quick
+            test_suffix_array_sorted;
+          Alcotest.test_case "mtf roundtrip" `Quick test_mtf_roundtrip;
+          Alcotest.test_case "rle2 roundtrip" `Quick test_rle2_roundtrip;
+          QCheck_alcotest.to_alcotest qcheck_bwt_roundtrip;
+          QCheck_alcotest.to_alcotest qcheck_mtf_roundtrip;
+        ] );
+      ( "lz formats",
+        [
+          Alcotest.test_case "lz4 long runs" `Quick test_lz4_long_runs;
+          Alcotest.test_case "lz4 corrupt" `Quick test_lz4_corrupt_rejected;
+          Alcotest.test_case "gzip code tables" `Quick test_gzip_code_tables;
+        ] );
+      ( "range coder",
+        [
+          Alcotest.test_case "bits" `Quick test_range_coder_bits;
+          Alcotest.test_case "direct and tree" `Quick
+            test_range_coder_direct_and_tree;
+          Alcotest.test_case "skewed compresses" `Quick
+            test_range_coder_skewed_compresses;
+        ] );
+      ( "frames",
+        [
+          Alcotest.test_case "wrong codec" `Quick test_frame_rejects_wrong_codec;
+          Alcotest.test_case "truncated" `Quick test_frame_rejects_truncated;
+          Alcotest.test_case "corruption detected" `Quick
+            test_frame_detects_corruption;
+          Alcotest.test_case "registry" `Quick test_registry_contents;
+          Alcotest.test_case "ratios > 4 on runs" `Quick
+            test_compression_actually_compresses;
+          Alcotest.test_case "ratio ordering" `Quick
+            test_ratio_ordering_on_kernel_like_data;
+        ] );
+      ( "roundtrips",
+        List.concat_map roundtrip_tests Registry.all
+        @ List.map (fun c -> QCheck_alcotest.to_alcotest (qcheck_roundtrip c))
+            Registry.all );
+      ( "adversarial",
+        List.map (fun c -> QCheck_alcotest.to_alcotest (qcheck_mutation c))
+          Registry.all
+        @ List.map (fun c -> QCheck_alcotest.to_alcotest (qcheck_truncation c))
+            Registry.all );
+    ]

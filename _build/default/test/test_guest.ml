@@ -1,0 +1,291 @@
+(* Tests for Imk_guest: boot params, runtime integrity verification (and
+   its ability to detect deliberate corruption), kallsyms semantics
+   including the deferred fixup, and Linux boot timing. *)
+
+open Imk_monitor
+
+let check = Alcotest.check
+let int = Alcotest.int
+
+let test_boot_params_translation () =
+  let env = Testkit.make_env () in
+  let _, r = Testkit.boot env in
+  let p = r.Vmm.params in
+  let delta = Imk_guest.Boot_params.delta p in
+  check int "va_to_pa of virt_base" p.Imk_guest.Boot_params.phys_load
+    (Imk_guest.Boot_params.va_to_pa p p.Imk_guest.Boot_params.virt_base);
+  check int "delta aligned" 0 (delta mod Imk_memory.Addr.kernel_align)
+
+let test_kernel_info_from_elf_matches_built () =
+  let env = Testkit.make_env () in
+  let elf = Imk_elf.Parser.parse env.Testkit.built.Imk_kernel.Image.vmlinux in
+  let from_elf = Imk_guest.Boot_params.kernel_info_of_elf elf env.Testkit.cfg in
+  let from_built =
+    Imk_guest.Boot_params.kernel_info_of_built env.Testkit.built
+  in
+  check int "fns" from_built.Imk_guest.Boot_params.n_functions
+    from_elf.Imk_guest.Boot_params.n_functions;
+  check int "rodata va" from_built.Imk_guest.Boot_params.link_rodata_va
+    from_elf.Imk_guest.Boot_params.link_rodata_va;
+  check int "kallsyms va" from_built.Imk_guest.Boot_params.link_kallsyms_va
+    from_elf.Imk_guest.Boot_params.link_kallsyms_va
+
+let test_setup_data_roundtrip () =
+  let pairs = [| (1, 2, 3); (100, 200, 300) |] in
+  let blob = Imk_guest.Boot_params.setup_data_encode pairs in
+  Alcotest.(check (array (triple int int int)))
+    "roundtrip" pairs
+    (Imk_guest.Boot_params.setup_data_decode blob)
+
+let test_setup_data_rejects_garbage () =
+  check Alcotest.bool "rejects" true
+    (try
+       ignore (Imk_guest.Boot_params.setup_data_decode (Bytes.make 16 'x'));
+       false
+     with Invalid_argument _ -> true)
+
+let test_verify_counts () =
+  let env = Testkit.make_env ~functions:60 () in
+  let _, r = Testkit.boot env in
+  let s = r.Vmm.stats in
+  check int "all functions" 60 s.Imk_guest.Runtime.functions_visited;
+  check Alcotest.bool "sites verified" true (s.Imk_guest.Runtime.sites_verified >= 60);
+  check Alcotest.bool "rodata verified" true (s.Imk_guest.Runtime.rodata_verified > 0);
+  check Alcotest.bool "extab verified" true (s.Imk_guest.Runtime.extab_verified > 0);
+  check int "kallsyms all" 60 s.Imk_guest.Runtime.kallsyms_verified
+
+(* corruption detection: flip bytes in guest memory post-boot and re-run
+   the verifier; the walk must panic *)
+let corrupt_and_verify ~corrupt =
+  let env = Testkit.make_env ~functions:40 () in
+  let _, r = Testkit.boot env in
+  corrupt r;
+  try
+    ignore (Imk_guest.Runtime.verify_boot r.Vmm.mem r.Vmm.params);
+    false
+  with Imk_guest.Runtime.Panic _ -> true
+
+let test_detects_corrupted_site () =
+  check Alcotest.bool "panics" true
+    (corrupt_and_verify ~corrupt:(fun r ->
+         (* smash the first call-site value of the entry function *)
+         let p = r.Vmm.params in
+         let entry_pa =
+           Imk_guest.Boot_params.va_to_pa p p.Imk_guest.Boot_params.entry_va
+         in
+         let site_pa = entry_pa + Imk_kernel.Function_graph.fn_header_bytes + 8 in
+         Imk_memory.Guest_mem.set_addr r.Vmm.mem ~pa:site_pa
+           (Imk_memory.Addr.link_base + 0x777000)))
+
+let test_detects_corrupted_magic () =
+  check Alcotest.bool "panics" true
+    (corrupt_and_verify ~corrupt:(fun r ->
+         let p = r.Vmm.params in
+         let entry_pa =
+           Imk_guest.Boot_params.va_to_pa p p.Imk_guest.Boot_params.entry_va
+         in
+         Imk_memory.Guest_mem.set_addr r.Vmm.mem ~pa:entry_pa 0x1234567))
+
+let test_detects_unsorted_kallsyms () =
+  check Alcotest.bool "panics" true
+    (corrupt_and_verify ~corrupt:(fun r ->
+         let p = r.Vmm.params in
+         let info = p.Imk_guest.Boot_params.kernel in
+         let pa =
+           Imk_guest.Boot_params.va_to_pa p
+             (info.Imk_guest.Boot_params.link_kallsyms_va
+             + Imk_guest.Boot_params.delta p)
+         in
+         (* swap the first two entries' offsets *)
+         let h = Imk_kernel.Image.kallsyms_header_bytes in
+         let e = Imk_kernel.Image.kallsyms_entry_bytes in
+         let o1 = Imk_memory.Guest_mem.get_u32 r.Vmm.mem ~pa:(pa + h) in
+         let o2 = Imk_memory.Guest_mem.get_u32 r.Vmm.mem ~pa:(pa + h + e) in
+         Imk_memory.Guest_mem.set_u32 r.Vmm.mem ~pa:(pa + h) o2;
+         Imk_memory.Guest_mem.set_u32 r.Vmm.mem ~pa:(pa + h + e) o1))
+
+let test_fn_at_probe () =
+  let env = Testkit.make_env ~functions:30 () in
+  let _, r = Testkit.boot env in
+  let p = r.Vmm.params in
+  check Alcotest.bool "entry is fn" true
+    (Imk_guest.Runtime.fn_at r.Vmm.mem p ~va:p.Imk_guest.Boot_params.entry_va
+    <> None);
+  check Alcotest.bool "garbage is not" true
+    (Imk_guest.Runtime.fn_at r.Vmm.mem p
+       ~va:(p.Imk_guest.Boot_params.virt_base + 7)
+    = None)
+
+(* --- kallsyms --- *)
+
+let test_kallsyms_lookup_eager () =
+  let env = Testkit.make_env ~functions:30 () in
+  let _, r = Testkit.boot env in
+  let _, ch = Testkit.charge () in
+  let state = Imk_guest.Kallsyms.create () in
+  let p = r.Vmm.params in
+  check int "entry resolves to fn0" 0
+    (Imk_guest.Kallsyms.lookup state ch r.Vmm.mem p
+       ~va:p.Imk_guest.Boot_params.entry_va);
+  check Alcotest.bool "no deferred fixup ran" true
+    (not (Imk_guest.Kallsyms.fixed_up state))
+
+let test_kallsyms_lookup_missing () =
+  let env = Testkit.make_env ~functions:30 () in
+  let _, r = Testkit.boot env in
+  let _, ch = Testkit.charge () in
+  let state = Imk_guest.Kallsyms.create () in
+  check Alcotest.bool "fails" true
+    (try
+       ignore
+         (Imk_guest.Kallsyms.lookup state ch r.Vmm.mem r.Vmm.params
+            ~va:(r.Vmm.params.Imk_guest.Boot_params.virt_base + 3));
+       false
+     with Imk_guest.Kallsyms.Lookup_failed _ -> true)
+
+let test_kallsyms_deferred_fixup () =
+  let env =
+    Testkit.make_env ~functions:40 ~variant:Imk_kernel.Config.Fgkaslr ()
+  in
+  let _, r =
+    Testkit.boot env ~rando:Vm_config.Rando_fgkaslr
+      ~kallsyms:Vm_config.Kallsyms_deferred
+  in
+  let p = r.Vmm.params in
+  check Alcotest.bool "boot left kallsyms stale" false
+    p.Imk_guest.Boot_params.kallsyms_fixed;
+  check Alcotest.bool "setup data present" true
+    (p.Imk_guest.Boot_params.setup_data_pa <> None);
+  let _, ch = Testkit.charge () in
+  let state = Imk_guest.Kallsyms.create () in
+  let before = Imk_vclock.Clock.now (Imk_vclock.Charge.clock ch) in
+  let id =
+    Imk_guest.Kallsyms.lookup state ch r.Vmm.mem p
+      ~va:p.Imk_guest.Boot_params.entry_va
+  in
+  let first_cost = Imk_vclock.Clock.now (Imk_vclock.Charge.clock ch) - before in
+  check int "still resolves" 0 id;
+  check Alcotest.bool "deferred fixup ran" true (Imk_guest.Kallsyms.fixed_up state);
+  (* table is now trustworthy: full verification passes *)
+  let p_fixed = { p with Imk_guest.Boot_params.kallsyms_fixed = true } in
+  let stats = Imk_guest.Runtime.verify_boot r.Vmm.mem p_fixed in
+  check int "kallsyms verified post-fixup" 40
+    stats.Imk_guest.Runtime.kallsyms_verified;
+  (* second lookup is cheap *)
+  let before2 = Imk_vclock.Clock.now (Imk_vclock.Charge.clock ch) in
+  ignore
+    (Imk_guest.Kallsyms.lookup state ch r.Vmm.mem p
+       ~va:p.Imk_guest.Boot_params.entry_va);
+  let second_cost = Imk_vclock.Clock.now (Imk_vclock.Charge.clock ch) - before2 in
+  check Alcotest.bool "first lookup pays the fixup" true
+    (first_cost > 100 * second_cost)
+
+let test_kallsyms_stale_without_setup_data () =
+  let env =
+    Testkit.make_env ~functions:40 ~variant:Imk_kernel.Config.Fgkaslr ()
+  in
+  let _, r =
+    Testkit.boot env ~rando:Vm_config.Rando_fgkaslr
+      ~kallsyms:Vm_config.Kallsyms_deferred
+  in
+  let p =
+    { r.Vmm.params with Imk_guest.Boot_params.setup_data_pa = None }
+  in
+  let _, ch = Testkit.charge () in
+  let state = Imk_guest.Kallsyms.create () in
+  check Alcotest.bool "unrepairable" true
+    (try
+       ignore
+         (Imk_guest.Kallsyms.lookup state ch r.Vmm.mem p
+            ~va:p.Imk_guest.Boot_params.entry_va);
+       false
+     with Imk_guest.Kallsyms.Lookup_failed _ -> true)
+
+let test_kptr_restrict () =
+  let env = Testkit.make_env ~functions:30 () in
+  let _, r = Testkit.boot env in
+  let _, ch = Testkit.charge () in
+  let state = Imk_guest.Kallsyms.create () in
+  let addr_priv, _ =
+    Imk_guest.Kallsyms.read_for_user state ch r.Vmm.mem r.Vmm.params
+      ~privileged:true ~index:0
+  in
+  let addr_user, id =
+    Imk_guest.Kallsyms.read_for_user state ch r.Vmm.mem r.Vmm.params
+      ~privileged:false ~index:0
+  in
+  check Alcotest.bool "privileged sees address" true (addr_priv <> 0);
+  check int "unprivileged sees zero" 0 addr_user;
+  check Alcotest.bool "but still the symbol" true (id >= 0)
+
+(* --- linux boot timing --- *)
+
+let test_linux_boot_linear_in_memory () =
+  let cfg = Testkit.small_config () in
+  let t256 = Imk_guest.Linux_boot.time_ns cfg ~mem_bytes:(256 * 1024 * 1024) in
+  let t512 = Imk_guest.Linux_boot.time_ns cfg ~mem_bytes:(512 * 1024 * 1024) in
+  let t1g = Imk_guest.Linux_boot.time_ns cfg ~mem_bytes:(1024 * 1024 * 1024) in
+  check Alcotest.bool "monotone" true (t256 < t512 && t512 < t1g);
+  (* linearity: the 256M->1G increase is 3x the 256M->512M increase *)
+  check int "linear" (3 * (t512 - t256)) (t1g - t256)
+
+let test_linux_boot_preset_ordering () =
+  let t p =
+    Imk_guest.Linux_boot.time_ns
+      (Imk_kernel.Config.make p Imk_kernel.Config.Nokaslr)
+      ~mem_bytes:(256 * 1024 * 1024)
+  in
+  check Alcotest.bool "lupine < aws < ubuntu" true
+    (t Imk_kernel.Config.Lupine < t Imk_kernel.Config.Aws
+    && t Imk_kernel.Config.Aws < t Imk_kernel.Config.Ubuntu)
+
+let qcheck_boot_verifies_for_random_seeds =
+  QCheck.Test.make ~name:"every seed boots and verifies (kaslr)" ~count:15
+    QCheck.int64
+    (fun seed ->
+      let env = Testkit.make_env ~functions:40 () in
+      let _, r = Testkit.boot env ~seed in
+      r.Vmm.stats.Imk_guest.Runtime.functions_visited = 40)
+
+let () =
+  Alcotest.run "imk_guest"
+    [
+      ( "boot_params",
+        [
+          Alcotest.test_case "translation" `Quick test_boot_params_translation;
+          Alcotest.test_case "kernel_info from elf" `Quick
+            test_kernel_info_from_elf_matches_built;
+          Alcotest.test_case "setup data roundtrip" `Quick
+            test_setup_data_roundtrip;
+          Alcotest.test_case "setup data garbage" `Quick
+            test_setup_data_rejects_garbage;
+        ] );
+      ( "runtime",
+        [
+          Alcotest.test_case "verify counts" `Quick test_verify_counts;
+          Alcotest.test_case "detects corrupted site" `Quick
+            test_detects_corrupted_site;
+          Alcotest.test_case "detects corrupted magic" `Quick
+            test_detects_corrupted_magic;
+          Alcotest.test_case "detects unsorted kallsyms" `Quick
+            test_detects_unsorted_kallsyms;
+          Alcotest.test_case "fn_at probe" `Quick test_fn_at_probe;
+          QCheck_alcotest.to_alcotest qcheck_boot_verifies_for_random_seeds;
+        ] );
+      ( "kallsyms",
+        [
+          Alcotest.test_case "eager lookup" `Quick test_kallsyms_lookup_eager;
+          Alcotest.test_case "missing symbol" `Quick test_kallsyms_lookup_missing;
+          Alcotest.test_case "deferred fixup" `Quick test_kallsyms_deferred_fixup;
+          Alcotest.test_case "stale unrepairable" `Quick
+            test_kallsyms_stale_without_setup_data;
+          Alcotest.test_case "kptr_restrict" `Quick test_kptr_restrict;
+        ] );
+      ( "linux_boot",
+        [
+          Alcotest.test_case "linear in memory" `Quick
+            test_linux_boot_linear_in_memory;
+          Alcotest.test_case "preset ordering" `Quick
+            test_linux_boot_preset_ordering;
+        ] );
+    ]

@@ -1,0 +1,185 @@
+(* Tests for Imk_harness: workspace caching/registration, the boot runner's
+   statistics, and smoke runs of representative experiments on shrunken
+   kernels. *)
+
+open Imk_harness
+open Imk_kernel
+
+let check = Alcotest.check
+let int = Alcotest.int
+
+let small_ws () = Workspace.create ~scale:4 ~functions_override:50 ()
+
+let test_workspace_builds_once () =
+  let ws = small_ws () in
+  let a = Workspace.built ws Config.Aws Config.Kaslr in
+  let b = Workspace.built ws Config.Aws Config.Kaslr in
+  check Alcotest.bool "cached build" true (a == b)
+
+let test_workspace_registers_images () =
+  let ws = small_ws () in
+  let path = Workspace.vmlinux_path ws Config.Lupine Config.Kaslr in
+  check Alcotest.bool "on disk" true (Imk_storage.Disk.mem (Workspace.disk ws) path);
+  let rpath = Workspace.relocs_path ws Config.Lupine Config.Kaslr in
+  check Alcotest.bool "relocs on disk" true
+    (Imk_storage.Disk.mem (Workspace.disk ws) rpath)
+
+let test_workspace_bzimage () =
+  let ws = small_ws () in
+  let path =
+    Workspace.bzimage_path ws Config.Aws Config.Nokaslr ~codec:"lz4"
+      ~bz:Bzimage.Standard
+  in
+  check Alcotest.bool "bzimage on disk" true
+    (Imk_storage.Disk.mem (Workspace.disk ws) path);
+  (* second request returns the same artifact without error *)
+  let path2 =
+    Workspace.bzimage_path ws Config.Aws Config.Nokaslr ~codec:"lz4"
+      ~bz:Bzimage.Standard
+  in
+  check Alcotest.string "same path" path path2
+
+let test_workspace_functions_override () =
+  let ws = small_ws () in
+  let c = Workspace.config ws Config.Ubuntu Config.Fgkaslr in
+  check int "override applied" 50 c.Config.functions
+
+let test_boot_runner_stats () =
+  let ws = small_ws () in
+  Workspace.warm_all ws;
+  let make_vm ~seed =
+    Imk_monitor.Vm_config.make ~rando:Imk_monitor.Vm_config.Rando_kaslr
+      ~relocs_path:(Some (Workspace.relocs_path ws Config.Aws Config.Kaslr))
+      ~kernel_path:(Workspace.vmlinux_path ws Config.Aws Config.Kaslr)
+      ~kernel_config:(Workspace.config ws Config.Aws Config.Kaslr)
+      ~mem_bytes:(64 * 1024 * 1024) ~seed ()
+  in
+  let s =
+    Boot_runner.boot_many ~warmups:1 ~runs:8 ~cache:(Workspace.cache ws)
+      ~make_vm ()
+  in
+  check int "8 samples" 8 s.Boot_runner.total.Imk_util.Stats.n;
+  check Alcotest.bool "min <= mean <= max" true
+    (s.Boot_runner.total.Imk_util.Stats.min
+     <= s.Boot_runner.total.Imk_util.Stats.mean
+    && s.Boot_runner.total.Imk_util.Stats.mean
+       <= s.Boot_runner.total.Imk_util.Stats.max);
+  check Alcotest.bool "jitter spreads samples" true
+    (s.Boot_runner.total.Imk_util.Stats.max
+    > s.Boot_runner.total.Imk_util.Stats.min);
+  check Alcotest.bool "phases sum to total" true
+    (let sum =
+       s.Boot_runner.in_monitor.Imk_util.Stats.mean
+       +. s.Boot_runner.bootstrap.Imk_util.Stats.mean
+       +. s.Boot_runner.decompression.Imk_util.Stats.mean
+       +. s.Boot_runner.linux_boot.Imk_util.Stats.mean
+     in
+     abs_float (sum -. s.Boot_runner.total.Imk_util.Stats.mean) < 1000.)
+
+let test_boot_once_spans () =
+  let ws = small_ws () in
+  Workspace.warm_all ws;
+  let vm =
+    Imk_monitor.Vm_config.make ~rando:Imk_monitor.Vm_config.Rando_off
+      ~kernel_path:
+        (Workspace.bzimage_path ws Config.Aws Config.Nokaslr ~codec:"lz4"
+           ~bz:Bzimage.Standard)
+      ~flavor:Imk_monitor.Vm_config.Bzimage_support
+      ~kernel_config:(Workspace.config ws Config.Aws Config.Nokaslr)
+      ~mem_bytes:(64 * 1024 * 1024) ()
+  in
+  let trace, _ = Boot_runner.boot_once ~jitter:false ~seed:1L ~cache:(Workspace.cache ws) vm in
+  let spans = Boot_runner.spans_by_label trace in
+  check Alcotest.bool "has loader-setup" true
+    (List.mem_assoc "loader-setup" spans);
+  check Alcotest.bool "has decompress span" true
+    (List.mem_assoc "decompress-lz4" spans)
+
+(* smoke runs of the cheap experiments; assert structural soundness and
+   the headline directions *)
+
+let note_contains o needle =
+  List.exists
+    (fun n ->
+      let rec go i =
+        i + String.length needle <= String.length n
+        && (String.sub n i (String.length needle) = needle || go (i + 1))
+      in
+      String.length needle <= String.length n && go 0)
+    o.Experiments.notes
+
+let test_table1_smoke () =
+  let o = Experiments.table1 (small_ws ()) in
+  check Alcotest.string "id" "table1" o.Experiments.id;
+  let rendered = Imk_util.Table.render o.Experiments.table in
+  check Alcotest.bool "has all nine kernels" true
+    (List.for_all
+       (fun k ->
+         let rec go i =
+           i + String.length k <= String.length rendered
+           && (String.sub rendered i (String.length k) = k || go (i + 1))
+         in
+         go 0)
+       [ "lupine-nokaslr"; "aws-fgkaslr"; "ubuntu-kaslr" ])
+
+let test_fig6_smoke () =
+  let o = Experiments.fig6 ~runs:2 (small_ws ()) in
+  check Alcotest.bool "direct fastest" true
+    (note_contains o "> uncompressed(direct)")
+
+let test_fig3_smoke () =
+  let o = Experiments.fig3 ~runs:2 (small_ws ()) in
+  check Alcotest.bool "lz4 wins" true (note_contains o "fastest codec: lz4")
+
+let test_security_smoke () =
+  let o = Experiments.security (small_ws ()) in
+  check Alcotest.string "id" "security" o.Experiments.id
+
+let test_by_id_lookup () =
+  check Alcotest.bool "fig9 known" true (Experiments.by_id "fig9" <> None);
+  check Alcotest.bool "unknown" true (Experiments.by_id "fig99" = None);
+  (* every advertised id resolves *)
+  List.iter
+    (fun id ->
+      check Alcotest.bool (id ^ " resolves") true (Experiments.by_id id <> None))
+    Experiments.all_ids
+
+let test_throughput_smoke () =
+  let o = Experiments.throughput ~runs:5 (small_ws ()) in
+  check Alcotest.string "id" "throughput" o.Experiments.id;
+  (* the headline direction: fgkaslr costs more throughput than kaslr *)
+  check Alcotest.bool "ordering note present" true
+    (note_contains o "FGKASLR costs")
+
+let test_zygote_smoke () =
+  let o = Experiments.ablation_zygote ~runs:3 (small_ws ()) in
+  check Alcotest.bool "restores faster" true (note_contains o "faster than boots")
+
+let () =
+  Alcotest.run "imk_harness"
+    [
+      ( "workspace",
+        [
+          Alcotest.test_case "builds once" `Quick test_workspace_builds_once;
+          Alcotest.test_case "registers images" `Quick
+            test_workspace_registers_images;
+          Alcotest.test_case "bzimage" `Quick test_workspace_bzimage;
+          Alcotest.test_case "functions override" `Quick
+            test_workspace_functions_override;
+        ] );
+      ( "boot_runner",
+        [
+          Alcotest.test_case "stats" `Quick test_boot_runner_stats;
+          Alcotest.test_case "span labels" `Quick test_boot_once_spans;
+        ] );
+      ( "experiments",
+        [
+          Alcotest.test_case "table1" `Quick test_table1_smoke;
+          Alcotest.test_case "fig3" `Slow test_fig3_smoke;
+          Alcotest.test_case "fig6" `Quick test_fig6_smoke;
+          Alcotest.test_case "security" `Quick test_security_smoke;
+          Alcotest.test_case "by_id" `Quick test_by_id_lookup;
+          Alcotest.test_case "throughput" `Slow test_throughput_smoke;
+          Alcotest.test_case "zygote" `Slow test_zygote_smoke;
+        ] );
+    ]

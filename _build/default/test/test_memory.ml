@@ -1,0 +1,192 @@
+(* Tests for Imk_memory: address constants and helpers, guest memory
+   bounds behaviour, page-table geometry. *)
+
+open Imk_memory
+
+let check = Alcotest.check
+let int = Alcotest.int
+
+let test_addr_constants () =
+  check int "phys start 16M" 0x1000000 Addr.default_phys_load;
+  check int "align 2M" 0x200000 Addr.kernel_align;
+  check int "max offset 1G" 0x40000000 Addr.kaslr_max_offset;
+  (* the substitution invariant: simulated kmap keeps Linux's low 32
+     bits, 0x80000000 *)
+  check int "kmap low32" 0x80000000 (Addr.low32 Addr.kmap_base);
+  check int "link base" (Addr.kmap_base + Addr.default_phys_load) Addr.link_base
+
+let test_va_low32_roundtrip () =
+  let va = Addr.link_base + 0x1234560 in
+  check int "roundtrip" va (Addr.va_of_low32 (Addr.low32 va))
+
+let test_va_of_low32_rejects () =
+  Alcotest.check_raises "too big"
+    (Invalid_argument "Addr.va_of_low32: not a 32-bit value") (fun () ->
+      ignore (Addr.va_of_low32 0x100000000));
+  check Alcotest.bool "outside window" true
+    (try
+       ignore (Addr.va_of_low32 0x1000);
+       false
+     with Invalid_argument _ -> true)
+
+let test_is_kernel_va () =
+  check Alcotest.bool "base" true (Addr.is_kernel_va Addr.kmap_base);
+  check Alcotest.bool "link" true (Addr.is_kernel_va Addr.link_base);
+  check Alcotest.bool "below" false (Addr.is_kernel_va (Addr.kmap_base - 1));
+  check Alcotest.bool "way above" false
+    (Addr.is_kernel_va (Addr.kmap_base + (4 * Addr.kaslr_max_offset)))
+
+let test_align_helpers () =
+  check int "up" 0x400000 (Addr.align_up 0x200001 0x200000);
+  check int "down" 0x200000 (Addr.align_down 0x3fffff 0x200000);
+  check Alcotest.bool "is_aligned" true (Addr.is_aligned 0x400000 0x200000)
+
+let test_inverse_base_window () =
+  (* every kernel VA must yield a 32-bit inverse value *)
+  let lo = Addr.kmap_base + Addr.default_phys_load in
+  let hi = Addr.kmap_base + Addr.kaslr_max_offset in
+  List.iter
+    (fun va ->
+      let inv = Addr.inverse_base - va in
+      check Alcotest.bool "fits u32" true (inv >= 0 && inv <= 0xffffffff))
+    [ lo; hi; lo + ((hi - lo) / 2) ]
+
+(* --- guest memory --- *)
+
+let test_guest_mem_rw () =
+  let m = Guest_mem.create ~size:4096 in
+  Guest_mem.write_bytes m ~pa:100 (Bytes.of_string "hello");
+  check Alcotest.string "read back" "hello"
+    (Bytes.to_string (Guest_mem.read_bytes m ~pa:100 ~len:5));
+  Guest_mem.set_u32 m ~pa:0 0xdeadbeef;
+  check int "u32" 0xdeadbeef (Guest_mem.get_u32 m ~pa:0);
+  Guest_mem.set_addr m ~pa:8 Addr.link_base;
+  check int "addr" Addr.link_base (Guest_mem.get_addr m ~pa:8)
+
+let test_guest_mem_zeroed_at_creation () =
+  let m = Guest_mem.create ~size:64 in
+  check int "zero" 0 (Guest_mem.get_u32 m ~pa:60)
+
+let test_guest_mem_faults () =
+  let m = Guest_mem.create ~size:256 in
+  let faults f =
+    check Alcotest.bool "faults" true
+      (try
+         f ();
+         false
+       with Guest_mem.Fault _ -> true)
+  in
+  faults (fun () -> ignore (Guest_mem.read_bytes m ~pa:250 ~len:10));
+  faults (fun () -> ignore (Guest_mem.get_addr m ~pa:(-1)));
+  faults (fun () -> Guest_mem.write_bytes m ~pa:255 (Bytes.of_string "xy"));
+  faults (fun () -> Guest_mem.zero m ~pa:0 ~len:1000);
+  faults (fun () -> Guest_mem.copy_within m ~src:0 ~dst:250 ~len:10)
+
+let test_copy_within_overlap () =
+  let m = Guest_mem.create ~size:64 in
+  Guest_mem.write_bytes m ~pa:0 (Bytes.of_string "abcdef");
+  Guest_mem.copy_within m ~src:0 ~dst:2 ~len:6;
+  check Alcotest.string "blit semantics" "ababcdef"
+    (Bytes.to_string (Guest_mem.read_bytes m ~pa:0 ~len:8))
+
+let test_get_i64_raw () =
+  let m = Guest_mem.create ~size:16 in
+  Guest_mem.write_bytes m ~pa:0 (Bytes.make 8 '\xff');
+  check Alcotest.int64 "raw read" (-1L) (Guest_mem.get_i64 m ~pa:0);
+  (* get_addr on the same bytes raises, which is why get_i64 exists *)
+  check Alcotest.bool "get_addr rejects" true
+    (try
+       ignore (Guest_mem.get_addr m ~pa:0);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- page tables --- *)
+
+let test_page_table_2m_1g () =
+  let pt =
+    Page_table.identity_map ~covered_bytes:(Imk_util.Units.gib 1)
+      ~page_size:Page_table.Two_m
+  in
+  (* 512 2M leaves = 1 PD page; 1 PDPT; 1 PML4 *)
+  check int "pd" 1 pt.Page_table.pd_pages;
+  check int "pdpt" 1 pt.Page_table.pdpt_pages;
+  check int "total" 3 (Page_table.total_pages pt);
+  check int "bytes" (3 * 4096) (Page_table.table_bytes pt)
+
+let test_page_table_4k_1g () =
+  let pt =
+    Page_table.identity_map ~covered_bytes:(Imk_util.Units.gib 1)
+      ~page_size:Page_table.Four_k
+  in
+  (* 262144 4K leaves = 512 PT pages, 1 PD, 1 PDPT, 1 PML4 *)
+  check int "pt pages" 512 pt.Page_table.pt_pages;
+  check int "total" 515 (Page_table.total_pages pt);
+  check Alcotest.bool "entries >= leaves" true
+    (Page_table.entries pt >= 262144)
+
+let test_page_table_small () =
+  let pt =
+    Page_table.identity_map ~covered_bytes:(Imk_util.Units.mib 2)
+      ~page_size:Page_table.Two_m
+  in
+  check int "one leaf still needs tables" 3 (Page_table.total_pages pt)
+
+let test_page_table_invalid () =
+  Alcotest.check_raises "non-positive"
+    (Invalid_argument "Page_table.identity_map: non-positive span") (fun () ->
+      ignore (Page_table.identity_map ~covered_bytes:0 ~page_size:Page_table.Four_k))
+
+let qcheck_guest_mem_rw =
+  QCheck.Test.make ~name:"guest_mem: read back what was written" ~count:200
+    QCheck.(pair (string_of_size Gen.(1 -- 64)) (int_bound 200))
+    (fun (s, pa) ->
+      let m = Guest_mem.create ~size:512 in
+      let b = Bytes.of_string s in
+      if pa + Bytes.length b > 512 then QCheck.assume_fail ()
+      else begin
+        Guest_mem.write_bytes m ~pa b;
+        Bytes.equal b (Guest_mem.read_bytes m ~pa ~len:(Bytes.length b))
+      end)
+
+let qcheck_page_table_monotone =
+  QCheck.Test.make ~name:"page tables grow with coverage" ~count:100
+    QCheck.(pair (int_range 1 2000) (int_range 1 2000))
+    (fun (a, b) ->
+      let mib = Imk_util.Units.mib 1 in
+      let small = min a b * mib and large = max a b * mib in
+      let p s =
+        Page_table.entries (Page_table.identity_map ~covered_bytes:s ~page_size:Page_table.Four_k)
+      in
+      p small <= p large)
+
+let () =
+  Alcotest.run "imk_memory"
+    [
+      ( "addr",
+        [
+          Alcotest.test_case "constants" `Quick test_addr_constants;
+          Alcotest.test_case "low32 roundtrip" `Quick test_va_low32_roundtrip;
+          Alcotest.test_case "va_of_low32 rejects" `Quick
+            test_va_of_low32_rejects;
+          Alcotest.test_case "is_kernel_va" `Quick test_is_kernel_va;
+          Alcotest.test_case "align helpers" `Quick test_align_helpers;
+          Alcotest.test_case "inverse window" `Quick test_inverse_base_window;
+        ] );
+      ( "guest_mem",
+        [
+          Alcotest.test_case "read/write" `Quick test_guest_mem_rw;
+          Alcotest.test_case "zeroed" `Quick test_guest_mem_zeroed_at_creation;
+          Alcotest.test_case "faults" `Quick test_guest_mem_faults;
+          Alcotest.test_case "copy_within" `Quick test_copy_within_overlap;
+          Alcotest.test_case "get_i64 raw" `Quick test_get_i64_raw;
+          QCheck_alcotest.to_alcotest qcheck_guest_mem_rw;
+        ] );
+      ( "page_table",
+        [
+          Alcotest.test_case "2M over 1G" `Quick test_page_table_2m_1g;
+          Alcotest.test_case "4K over 1G" `Quick test_page_table_4k_1g;
+          Alcotest.test_case "small" `Quick test_page_table_small;
+          Alcotest.test_case "invalid" `Quick test_page_table_invalid;
+          QCheck_alcotest.to_alcotest qcheck_page_table_monotone;
+        ] );
+    ]

@@ -1,0 +1,268 @@
+(* Tests for Imk_randomize: offset selection bounds/alignment, relocation
+   application for all three kinds (including error paths), FGKASLR plans,
+   displacement mapping and table fixups. *)
+
+open Imk_memory
+open Imk_randomize
+
+let check = Alcotest.check
+let int = Alcotest.int
+
+let rng () = Imk_entropy.Prng.create ~seed:5L
+
+let test_choose_virtual_bounds () =
+  let r = rng () in
+  for _ = 1 to 300 do
+    let v = Kaslr.choose_virtual r ~image_memsz:(4 * 1024 * 1024) in
+    check Alcotest.bool "aligned" true (v mod Addr.kernel_align = 0);
+    check Alcotest.bool "lower bound" true (v >= Addr.link_base);
+    check Alcotest.bool "upper bound" true
+      (v + (4 * 1024 * 1024) <= Addr.kmap_base + Addr.kaslr_max_offset)
+  done
+
+let test_choose_virtual_huge_image () =
+  let r = rng () in
+  (* image bigger than the window: falls back to the default base *)
+  let v = Kaslr.choose_virtual r ~image_memsz:(2 * Addr.kaslr_max_offset) in
+  check int "fallback" (Addr.kmap_base + Addr.default_phys_load) v
+
+let test_choose_physical_bounds () =
+  let r = rng () in
+  for _ = 1 to 200 do
+    let p =
+      Kaslr.choose_physical r ~image_memsz:(8 * 1024 * 1024)
+        ~mem_bytes:(256 * 1024 * 1024)
+    in
+    check Alcotest.bool "aligned" true (p mod Addr.kernel_align = 0);
+    check Alcotest.bool "range" true
+      (p >= Addr.default_phys_load && p + (8 * 1024 * 1024) <= 256 * 1024 * 1024)
+  done
+
+let test_choose_physical_small_memory () =
+  let r = rng () in
+  let p =
+    Kaslr.choose_physical r ~image_memsz:(64 * 1024 * 1024)
+      ~mem_bytes:(66 * 1024 * 1024)
+  in
+  check int "default when tight" Addr.default_phys_load p
+
+let test_virtual_slots () =
+  let slots = Kaslr.virtual_slots ~image_memsz:(16 * 1024 * 1024) in
+  (* (1G - 16M - 16M) / 2M + 1 = 497 *)
+  check int "497 slots" 497 slots;
+  check int "degenerate" 1 (Kaslr.virtual_slots ~image_memsz:(2 * Addr.kaslr_max_offset))
+
+(* relocation application on a hand-built memory image *)
+let apply_one kind ~initial ~delta =
+  let mem = Guest_mem.create ~size:4096 in
+  let site_va = Addr.link_base + 0x100 in
+  let pa = 0x100 in
+  (match kind with
+  | Imk_elf.Relocation.Abs64 -> Guest_mem.set_addr mem ~pa initial
+  | Imk_elf.Relocation.Abs32 | Imk_elf.Relocation.Inv32 ->
+      Guest_mem.set_u32 mem ~pa initial);
+  let relocs =
+    match kind with
+    | Imk_elf.Relocation.Abs64 ->
+        { Imk_elf.Relocation.abs64 = [| site_va |]; abs32 = [||]; inv32 = [||] }
+    | Imk_elf.Relocation.Abs32 ->
+        { Imk_elf.Relocation.abs64 = [||]; abs32 = [| site_va |]; inv32 = [||] }
+    | Imk_elf.Relocation.Inv32 ->
+        { Imk_elf.Relocation.abs64 = [||]; abs32 = [||]; inv32 = [| site_va |] }
+  in
+  Kaslr.apply ~mem ~relocs
+    ~site_pa:(fun va -> va - Addr.link_base)
+    ~new_va_of:(Kaslr.delta_new_va ~delta);
+  match kind with
+  | Imk_elf.Relocation.Abs64 -> Guest_mem.get_addr mem ~pa
+  | Imk_elf.Relocation.Abs32 | Imk_elf.Relocation.Inv32 ->
+      Guest_mem.get_u32 mem ~pa
+
+let test_apply_abs64 () =
+  let target = Addr.link_base + 0x4000 in
+  let v = apply_one Imk_elf.Relocation.Abs64 ~initial:target ~delta:0x600000 in
+  check int "offset added" (target + 0x600000) v
+
+let test_apply_abs32 () =
+  let target = Addr.link_base + 0x4000 in
+  let v =
+    apply_one Imk_elf.Relocation.Abs32 ~initial:(Addr.low32 target)
+      ~delta:0x600000
+  in
+  check int "low32 offset added" (Addr.low32 (target + 0x600000)) v
+
+let test_apply_inv32 () =
+  let target = Addr.link_base + 0x4000 in
+  let stored = Addr.low32 (Addr.inverse_base - target) in
+  let v = apply_one Imk_elf.Relocation.Inv32 ~initial:stored ~delta:0x600000 in
+  (* inverse relocation: the offset is subtracted *)
+  check int "offset subtracted" (stored - 0x600000) v
+
+let test_apply_rejects_garbage_site () =
+  check Alcotest.bool "reloc error" true
+    (try
+       ignore (apply_one Imk_elf.Relocation.Abs32 ~initial:0x1234 ~delta:0x200000);
+       false
+     with Kaslr.Reloc_error _ -> true)
+
+let test_apply_rejects_out_of_image_site () =
+  let mem = Guest_mem.create ~size:4096 in
+  let relocs =
+    { Imk_elf.Relocation.abs64 = [| Addr.link_base + 0x100000 |]; abs32 = [||]; inv32 = [||] }
+  in
+  check Alcotest.bool "reloc error, not a fault" true
+    (try
+       Kaslr.apply ~mem ~relocs
+         ~site_pa:(fun va -> va - Addr.link_base)
+         ~new_va_of:(Kaslr.delta_new_va ~delta:0);
+       false
+     with Kaslr.Reloc_error _ -> true)
+
+let test_apply_rejects_out_of_window_target () =
+  check Alcotest.bool "reloc error" true
+    (try
+       ignore
+         (apply_one Imk_elf.Relocation.Abs64 ~initial:0xdead ~delta:0x200000);
+       false
+     with Kaslr.Reloc_error _ -> true)
+
+(* --- FGKASLR plans --- *)
+
+let sections n =
+  let va = ref Addr.link_base in
+  Array.init n (fun i ->
+      let size = 32 + (i mod 7 * 16) in
+      let s = (!va, size) in
+      va := !va + size;
+      s)
+
+let test_plan_is_permutation_layout () =
+  let secs = sections 50 in
+  let plan = Fgkaslr.make_plan (rng ()) ~sections:secs ~text_base:Addr.link_base in
+  check Alcotest.bool "order is a permutation" true
+    (Imk_entropy.Shuffle.is_permutation plan.Fgkaslr.order);
+  (* new spans must not overlap and must stay 16-aligned *)
+  let spans =
+    Array.to_list (Array.init 50 (fun i -> (plan.Fgkaslr.new_va.(i), plan.Fgkaslr.size.(i))))
+    |> List.sort compare
+  in
+  let rec no_overlap = function
+    | (a, sa) :: ((b, _) :: _ as rest) ->
+        check Alcotest.bool "no overlap" true (a + sa <= b);
+        no_overlap rest
+    | _ -> ()
+  in
+  no_overlap spans;
+  Array.iter (fun va -> check int "16-aligned" 0 (va mod 16)) plan.Fgkaslr.new_va
+
+let test_displace_inside_and_outside () =
+  let secs = sections 20 in
+  let plan = Fgkaslr.make_plan (rng ()) ~sections:secs ~text_base:Addr.link_base in
+  Array.iteri
+    (fun i (old_va, size) ->
+      (* function start and interior both displaced by the same amount *)
+      let d = plan.Fgkaslr.new_va.(i) - old_va in
+      check int "start" (old_va + d) (Fgkaslr.displace plan old_va);
+      check int "interior" (old_va + (size / 2) + d)
+        (Fgkaslr.displace plan (old_va + (size / 2))))
+    secs;
+  (* addresses outside any section are untouched *)
+  check int "below" (Addr.kmap_base) (Fgkaslr.displace plan Addr.kmap_base);
+  let beyond = fst secs.(19) + snd secs.(19) + 100000 in
+  check int "beyond" beyond (Fgkaslr.displace plan beyond)
+
+let test_identity_plan () =
+  let secs = sections 10 in
+  let plan = Fgkaslr.identity_plan ~sections:secs ~text_base:Addr.link_base in
+  Array.iteri
+    (fun i (old_va, _) -> check int "unmoved" old_va plan.Fgkaslr.new_va.(i))
+    secs
+
+let test_plan_rejects_overlap () =
+  let bad = [| (Addr.link_base, 64); (Addr.link_base + 32, 64) |] in
+  check Alcotest.bool "rejects" true
+    (try
+       ignore (Fgkaslr.make_plan (rng ()) ~sections:bad ~text_base:Addr.link_base);
+       false
+     with Invalid_argument _ -> true)
+
+let test_plan_of_pairs_roundtrip () =
+  let secs = sections 15 in
+  let plan = Fgkaslr.make_plan (rng ()) ~sections:secs ~text_base:Addr.link_base in
+  let rebuilt = Fgkaslr.plan_of_pairs (Fgkaslr.displacement_pairs plan) in
+  Array.iter
+    (fun (old_va, _) ->
+      check int "same displacement" (Fgkaslr.displace plan old_va)
+        (Fgkaslr.displace rebuilt old_va))
+    secs
+
+let qcheck_displace_preserves_offsets =
+  QCheck.Test.make
+    ~name:"fgkaslr: displacement preserves intra-function offsets" ~count:100
+    QCheck.(pair int64 (int_range 2 100))
+    (fun (seed, n) ->
+      let r = Imk_entropy.Prng.create ~seed in
+      let secs = sections n in
+      let plan = Fgkaslr.make_plan r ~sections:secs ~text_base:Addr.link_base in
+      Array.for_all
+        (fun (old_va, size) ->
+          let d = Fgkaslr.displace plan old_va - old_va in
+          Fgkaslr.displace plan (old_va + size - 1) = old_va + size - 1 + d)
+        secs)
+
+let qcheck_apply_then_verify_consistency =
+  (* applying with delta then with -delta returns the original bytes *)
+  QCheck.Test.make ~name:"kaslr: apply delta then -delta = id" ~count:50
+    QCheck.(int_range 1 200)
+    (fun slots ->
+      let delta = slots * Addr.kernel_align in
+      let target = Addr.link_base + 0x4000 in
+      let v1 = apply_one Imk_elf.Relocation.Abs64 ~initial:target ~delta in
+      let mem = Guest_mem.create ~size:4096 in
+      Guest_mem.set_addr mem ~pa:0x100 v1;
+      let relocs =
+        { Imk_elf.Relocation.abs64 = [| Addr.link_base + 0x100 |]; abs32 = [||]; inv32 = [||] }
+      in
+      Kaslr.apply ~mem ~relocs
+        ~site_pa:(fun va -> va - Addr.link_base)
+        ~new_va_of:(Kaslr.delta_new_va ~delta:(-delta));
+      Guest_mem.get_addr mem ~pa:0x100 = target)
+
+let () =
+  Alcotest.run "imk_randomize"
+    [
+      ( "offset selection",
+        [
+          Alcotest.test_case "virtual bounds" `Quick test_choose_virtual_bounds;
+          Alcotest.test_case "huge image fallback" `Quick
+            test_choose_virtual_huge_image;
+          Alcotest.test_case "physical bounds" `Quick test_choose_physical_bounds;
+          Alcotest.test_case "small memory" `Quick
+            test_choose_physical_small_memory;
+          Alcotest.test_case "slot count" `Quick test_virtual_slots;
+        ] );
+      ( "relocation apply",
+        [
+          Alcotest.test_case "abs64" `Quick test_apply_abs64;
+          Alcotest.test_case "abs32" `Quick test_apply_abs32;
+          Alcotest.test_case "inv32" `Quick test_apply_inv32;
+          Alcotest.test_case "garbage site" `Quick
+            test_apply_rejects_garbage_site;
+          Alcotest.test_case "out-of-image site" `Quick
+            test_apply_rejects_out_of_image_site;
+          Alcotest.test_case "bad target" `Quick
+            test_apply_rejects_out_of_window_target;
+          QCheck_alcotest.to_alcotest qcheck_apply_then_verify_consistency;
+        ] );
+      ( "fgkaslr plans",
+        [
+          Alcotest.test_case "permutation layout" `Quick
+            test_plan_is_permutation_layout;
+          Alcotest.test_case "displace in/out" `Quick
+            test_displace_inside_and_outside;
+          Alcotest.test_case "identity plan" `Quick test_identity_plan;
+          Alcotest.test_case "rejects overlap" `Quick test_plan_rejects_overlap;
+          Alcotest.test_case "plan_of_pairs" `Quick test_plan_of_pairs_roundtrip;
+          QCheck_alcotest.to_alcotest qcheck_displace_preserves_offsets;
+        ] );
+    ]

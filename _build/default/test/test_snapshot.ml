@@ -1,0 +1,139 @@
+(* Tests for Imk_monitor.Snapshot and Zygote: capture/restore fidelity,
+   layout cloning (the §7 weakness), pool diversity, and cost shape
+   (restore ≪ boot). *)
+
+open Imk_monitor
+
+let check = Alcotest.check
+let int = Alcotest.int
+
+let booted ?(seed = 21L) () =
+  let env = Testkit.make_env ~functions:50 () in
+  let trace, r = Testkit.boot env ~seed in
+  (env, trace, r)
+
+let test_capture_restore_verifies () =
+  let _, _, r = booted () in
+  let snap = Snapshot.capture r in
+  let _, ch = Testkit.charge () in
+  let restored = Snapshot.restore ch snap ~working_set_pages:64 in
+  check int "all functions verified" 50
+    restored.Vmm.stats.Imk_guest.Runtime.functions_visited;
+  (* the clone is exact, including its randomization *)
+  check int "same virtual base"
+    r.Vmm.params.Imk_guest.Boot_params.virt_base
+    restored.Vmm.params.Imk_guest.Boot_params.virt_base
+
+let test_capture_is_deep () =
+  let _, _, r = booted () in
+  let snap = Snapshot.capture r in
+  let before = Snapshot.layout_seed_of snap in
+  (* mutating the source VM must not change the snapshot *)
+  Imk_memory.Guest_mem.zero r.Vmm.mem
+    ~pa:r.Vmm.params.Imk_guest.Boot_params.phys_load ~len:4096;
+  check int "snapshot unaffected" before (Snapshot.layout_seed_of snap)
+
+let test_restore_cheaper_than_boot () =
+  let _, boot_trace, r = booted () in
+  let snap = Snapshot.capture r in
+  let trace, ch = Testkit.charge () in
+  let _ = Snapshot.restore ch snap ~working_set_pages:256 in
+  check Alcotest.bool "restore ≪ boot" true
+    (Imk_vclock.Trace.total trace * 5 < Imk_vclock.Trace.total boot_trace)
+
+let test_restore_charges_working_set () =
+  let _, _, r = booted () in
+  let snap = Snapshot.capture r in
+  let small =
+    let trace, ch = Testkit.charge () in
+    ignore (Snapshot.restore ch snap ~working_set_pages:16);
+    Imk_vclock.Trace.total trace
+  in
+  let large =
+    let trace, ch = Testkit.charge () in
+    ignore (Snapshot.restore ch snap ~working_set_pages:4096);
+    Imk_vclock.Trace.total trace
+  in
+  check Alcotest.bool "more faults cost more" true (large > small)
+
+let test_layout_seed_distinguishes () =
+  let env = Testkit.make_env ~functions:50 () in
+  let _, a = Testkit.boot env ~seed:1L in
+  let _, b = Testkit.boot env ~seed:2L in
+  check Alcotest.bool "different layouts fingerprint differently" true
+    (Snapshot.layout_seed_of (Snapshot.capture a)
+    <> Snapshot.layout_seed_of (Snapshot.capture b))
+
+let make_pool_env () =
+  let env = Testkit.make_env ~functions:50 () in
+  let make_vm ~seed =
+    Vm_config.make ~rando:Vm_config.Rando_kaslr
+      ~relocs_path:(Some (Testkit.relocs_path env))
+      ~mem_bytes:(64 * 1024 * 1024)
+      ~kernel_path:(Testkit.vmlinux_path env) ~kernel_config:env.Testkit.cfg
+      ~seed ()
+  in
+  (env, make_vm)
+
+let test_zygote_pool_diversity () =
+  let env, make_vm = make_pool_env () in
+  let _, ch = Testkit.charge () in
+  let pool = Zygote.build ch env.Testkit.cache ~make_vm ~size:6 in
+  check int "size" 6 (Zygote.size pool);
+  check int "all layouts distinct" 6 (Zygote.distinct_layouts pool);
+  check Alcotest.bool "memory cost = 6 guests" true
+    (Zygote.memory_bytes pool = 6 * 64 * 1024 * 1024)
+
+let test_zygote_draw_verifies () =
+  let env, make_vm = make_pool_env () in
+  let _, ch = Testkit.charge () in
+  let pool = Zygote.build ch env.Testkit.cache ~make_vm ~size:3 in
+  let rng = Imk_entropy.Prng.create ~seed:9L in
+  for _ = 1 to 5 do
+    let r = Zygote.draw ch pool ~rng ~working_set_pages:32 in
+    check int "verified" 50 r.Vmm.stats.Imk_guest.Runtime.functions_visited
+  done
+
+let test_zygote_empty_rejected () =
+  let env, make_vm = make_pool_env () in
+  let _, ch = Testkit.charge () in
+  Alcotest.check_raises "empty pool" (Invalid_argument "Zygote.build: empty pool")
+    (fun () -> ignore (Zygote.build ch env.Testkit.cache ~make_vm ~size:0))
+
+let test_zygote_draws_repeat_layouts () =
+  (* the residual weakness: a pool cycles a finite set of layouts *)
+  let env, make_vm = make_pool_env () in
+  let _, ch = Testkit.charge () in
+  let pool = Zygote.build ch env.Testkit.cache ~make_vm ~size:2 in
+  let rng = Imk_entropy.Prng.create ~seed:13L in
+  let bases = Hashtbl.create 4 in
+  for _ = 1 to 10 do
+    let r = Zygote.draw ch pool ~rng ~working_set_pages:8 in
+    Hashtbl.replace bases r.Vmm.params.Imk_guest.Boot_params.virt_base ()
+  done;
+  check Alcotest.bool "at most pool-size layouts" true (Hashtbl.length bases <= 2)
+
+let () =
+  Alcotest.run "snapshot+zygote"
+    [
+      ( "snapshot",
+        [
+          Alcotest.test_case "capture/restore verifies" `Quick
+            test_capture_restore_verifies;
+          Alcotest.test_case "capture is deep" `Quick test_capture_is_deep;
+          Alcotest.test_case "restore cheaper than boot" `Quick
+            test_restore_cheaper_than_boot;
+          Alcotest.test_case "working-set cost" `Quick
+            test_restore_charges_working_set;
+          Alcotest.test_case "layout fingerprint" `Quick
+            test_layout_seed_distinguishes;
+        ] );
+      ( "zygote",
+        [
+          Alcotest.test_case "pool diversity" `Quick test_zygote_pool_diversity;
+          Alcotest.test_case "draws verify" `Quick test_zygote_draw_verifies;
+          Alcotest.test_case "empty rejected" `Quick test_zygote_empty_rejected;
+          Alcotest.test_case "draws repeat layouts" `Quick
+            test_zygote_draws_repeat_layouts;
+        ] );
+    ]

@@ -1,0 +1,85 @@
+(* Tests for Imk_storage: disk registry and the page cache's warm/cold
+   protocol (the mechanism behind the paper's Figure 4). *)
+
+open Imk_storage
+
+let check = Alcotest.check
+
+let test_disk_basics () =
+  let d = Disk.create () in
+  Disk.add d ~name:"vmlinux" (Bytes.of_string "kernel!");
+  check Alcotest.bool "mem" true (Disk.mem d "vmlinux");
+  check Alcotest.int "size" 7 (Disk.size d "vmlinux");
+  check Alcotest.string "contents" "kernel!" (Bytes.to_string (Disk.find d "vmlinux"));
+  check Alcotest.bool "absent" false (Disk.mem d "other")
+
+let test_disk_replace () =
+  let d = Disk.create () in
+  Disk.add d ~name:"k" (Bytes.of_string "v1");
+  Disk.add d ~name:"k" (Bytes.of_string "version2");
+  check Alcotest.int "replaced" 8 (Disk.size d "k")
+
+let test_disk_not_found () =
+  let d = Disk.create () in
+  Alcotest.check_raises "missing" Not_found (fun () -> ignore (Disk.find d "x"))
+
+let test_cache_cold_then_warm () =
+  let d = Disk.create () in
+  Disk.add d ~name:"k" (Bytes.of_string "data");
+  let c = Page_cache.create d in
+  let _, cached1 = Page_cache.read c "k" in
+  check Alcotest.bool "first read cold" false cached1;
+  let _, cached2 = Page_cache.read c "k" in
+  check Alcotest.bool "second read warm" true cached2
+
+let test_cache_warm_explicit () =
+  let d = Disk.create () in
+  Disk.add d ~name:"k" (Bytes.of_string "data");
+  let c = Page_cache.create d in
+  Page_cache.warm c "k";
+  let _, cached = Page_cache.read c "k" in
+  check Alcotest.bool "warmed" true cached
+
+let test_cache_drop () =
+  let d = Disk.create () in
+  Disk.add d ~name:"k" (Bytes.of_string "data");
+  let c = Page_cache.create d in
+  Page_cache.warm c "k";
+  Page_cache.drop_caches c;
+  check Alcotest.bool "dropped" false (Page_cache.is_cached c "k");
+  let _, cached = Page_cache.read c "k" in
+  check Alcotest.bool "cold after drop" false cached
+
+let test_cache_warm_missing () =
+  let d = Disk.create () in
+  let c = Page_cache.create d in
+  Alcotest.check_raises "missing" Not_found (fun () -> Page_cache.warm c "x")
+
+let test_cache_independent_files () =
+  let d = Disk.create () in
+  Disk.add d ~name:"a" (Bytes.of_string "1");
+  Disk.add d ~name:"b" (Bytes.of_string "2");
+  let c = Page_cache.create d in
+  Page_cache.warm c "a";
+  check Alcotest.bool "a cached" true (Page_cache.is_cached c "a");
+  check Alcotest.bool "b not" false (Page_cache.is_cached c "b")
+
+let () =
+  Alcotest.run "imk_storage"
+    [
+      ( "disk",
+        [
+          Alcotest.test_case "basics" `Quick test_disk_basics;
+          Alcotest.test_case "replace" `Quick test_disk_replace;
+          Alcotest.test_case "not found" `Quick test_disk_not_found;
+        ] );
+      ( "page_cache",
+        [
+          Alcotest.test_case "cold then warm" `Quick test_cache_cold_then_warm;
+          Alcotest.test_case "warm explicit" `Quick test_cache_warm_explicit;
+          Alcotest.test_case "drop_caches" `Quick test_cache_drop;
+          Alcotest.test_case "warm missing" `Quick test_cache_warm_missing;
+          Alcotest.test_case "independent files" `Quick
+            test_cache_independent_files;
+        ] );
+    ]

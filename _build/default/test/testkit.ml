@@ -1,0 +1,62 @@
+(* Shared helpers for the integration-level test suites: small kernels,
+   one-call boots through the monitor, and corruption utilities. *)
+
+open Imk_monitor
+
+let small_config ?(preset = Imk_kernel.Config.Aws) ?(functions = 80)
+    ?(variant = Imk_kernel.Config.Kaslr) ?(seed = 9L) () =
+  { (Imk_kernel.Config.make ~scale:4 ~seed preset variant) with
+    Imk_kernel.Config.functions }
+
+type env = {
+  disk : Imk_storage.Disk.t;
+  cache : Imk_storage.Page_cache.t;
+  built : Imk_kernel.Image.built;
+  cfg : Imk_kernel.Config.t;
+}
+
+let make_env ?preset ?functions ?variant ?seed () =
+  let cfg = small_config ?preset ?functions ?variant ?seed () in
+  let built = Imk_kernel.Image.build cfg in
+  let disk = Imk_storage.Disk.create () in
+  let cache = Imk_storage.Page_cache.create disk in
+  Imk_storage.Disk.add disk ~name:(cfg.Imk_kernel.Config.name ^ ".vmlinux")
+    built.Imk_kernel.Image.vmlinux;
+  Imk_storage.Disk.add disk ~name:(cfg.Imk_kernel.Config.name ^ ".relocs")
+    built.Imk_kernel.Image.relocs_bytes;
+  { disk; cache; built; cfg }
+
+let vmlinux_path env = env.cfg.Imk_kernel.Config.name ^ ".vmlinux"
+let relocs_path env = env.cfg.Imk_kernel.Config.name ^ ".relocs"
+
+let add_bzimage env ~codec ~variant =
+  let bz = Imk_kernel.Bzimage.link env.built ~codec ~variant in
+  let name =
+    Printf.sprintf "%s.bz-%s-%s" env.cfg.Imk_kernel.Config.name codec
+      (Imk_kernel.Bzimage.variant_name variant)
+  in
+  Imk_storage.Disk.add env.disk ~name (Imk_kernel.Bzimage.encode bz);
+  name
+
+let charge () =
+  let clock = Imk_vclock.Clock.create () in
+  let trace = Imk_vclock.Trace.create clock in
+  (trace, Imk_vclock.Charge.create trace Imk_vclock.Cost_model.default)
+
+let boot ?(rando = Vm_config.Rando_kaslr) ?flavor ?kallsyms ?orc ?loader
+    ?(seed = 42L) ?(mem_bytes = 64 * 1024 * 1024) ?kernel_path ?relocs
+    env =
+  let kernel_path = Option.value ~default:(vmlinux_path env) kernel_path in
+  let relocs_path =
+    match relocs with
+    | Some r -> r
+    | None ->
+        if rando = Vm_config.Rando_off then None else Some (relocs_path env)
+  in
+  let vm =
+    Vm_config.make ?flavor ?kallsyms ?orc ?loader ~rando ~relocs_path
+      ~mem_bytes ~kernel_path ~kernel_config:env.cfg ~seed ()
+  in
+  let trace, ch = charge () in
+  let result = Vmm.boot ch env.cache vm in
+  (trace, result)
