@@ -7,16 +7,21 @@
      bench/main.exe --exp fig9      one experiment
      bench/main.exe --runs 100      paper-strength repetitions
      bench/main.exe --functions 400 smaller synthetic kernels (smoke)
-     bench/main.exe --exp micro     only the Bechamel micro-benchmarks *)
+     bench/main.exe --jobs 4        fan boots out over 4 domains
+     bench/main.exe --exp micro     only the Bechamel micro-benchmarks
+
+   Each experiment also writes BENCH_<id>.json (wall-clock seconds and
+   the per-row virtual boot-time means) into the current directory. *)
 
 let runs = ref 20
 let exps = ref []
 let functions = ref None
 let scale = ref 16
+let jobs = ref (Imk_util.Par.default_jobs ())
 
 let usage () =
   prerr_endline
-    "usage: main.exe [--exp <id>]... [--runs N] [--functions N] [--scale N]\n\
+    "usage: main.exe [--exp <id>]... [--runs N] [--functions N] [--scale N] [--jobs N]\n\
      experiments: table1 fig3 fig4 fig5 fig6 fig9 fig10 fig11 qemu throughput security\n\
      \             ablation-kallsyms ablation-orc ablation-page-sharing ablation-rerando ablation-zygote ablation-unikernel ablation-devices micro all";
   exit 2
@@ -35,12 +40,35 @@ let rec parse = function
   | "--scale" :: v :: rest ->
       scale := int_of_string v;
       parse rest
+  | "--jobs" :: v :: rest ->
+      jobs := int_of_string v;
+      parse rest
   | _ -> usage ()
 
 let print_output (o : Imk_harness.Experiments.output) =
   Printf.printf "\n=== %s ===\n" o.Imk_harness.Experiments.title;
   Imk_util.Table.print o.Imk_harness.Experiments.table;
   List.iter (fun n -> Printf.printf "  note: %s\n" n) o.Imk_harness.Experiments.notes;
+  flush stdout
+
+(* run one experiment under the wall clock and drop BENCH_<id>.json next
+   to the invocation — the real-time cost of the simulation, as opposed
+   to the virtual boot times in the table itself *)
+let timed_experiment id
+    (f : ?runs:int -> Imk_harness.Workspace.t -> Imk_harness.Experiments.output)
+    ws =
+  let t0 = Unix.gettimeofday () in
+  let o = f ~runs:!runs ws in
+  let wall = Unix.gettimeofday () -. t0 in
+  print_output o;
+  let json =
+    Imk_harness.Telemetry.to_json ~experiment:id ~runs:!runs ~jobs:!jobs
+      ~scale:!scale ~functions:!functions ~wall_clock_s:wall
+      (Imk_harness.Telemetry.boot_means o)
+  in
+  let path = "BENCH_" ^ id ^ ".json" in
+  Imk_harness.Telemetry.write_file path json;
+  Printf.printf "  wall clock: %.2f s (jobs=%d) -> %s\n" wall !jobs path;
   flush stdout
 
 (* --- Bechamel micro-benchmarks: the primitive costs behind the cost
@@ -124,6 +152,8 @@ let micro () =
 
 let () =
   parse (List.tl (Array.to_list Sys.argv));
+  jobs := max 1 !jobs;
+  Imk_harness.Boot_runner.default_jobs := !jobs;
   let requested = if !exps = [] then [ "all" ] else List.rev !exps in
   let ws =
     Imk_harness.Workspace.create ~scale:!scale ?functions_override:!functions ()
@@ -135,14 +165,14 @@ let () =
           List.iter
             (fun eid ->
               match Imk_harness.Experiments.by_id eid with
-              | Some f -> print_output (f ~runs:!runs ws)
+              | Some f -> timed_experiment eid f ws
               | None -> assert false)
             Imk_harness.Experiments.all_ids;
           micro ()
       | "micro" -> micro ()
       | id -> (
           match Imk_harness.Experiments.by_id id with
-          | Some f -> print_output (f ~runs:!runs ws)
+          | Some f -> timed_experiment id f ws
           | None ->
               Printf.eprintf "unknown experiment %s\n" id;
               usage ()))

@@ -120,8 +120,17 @@ let deferred_kallsyms =
     & info [ "deferred-kallsyms" ]
         ~doc:"Defer the FGKASLR kallsyms fixup to first access (§4.3).")
 
+let jobs =
+  Arg.(
+    value
+    & opt int (Imk_util.Par.default_jobs ())
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:"Worker domains for repeated boots (--runs). Results are \
+              bit-identical for any N; defaults to the recommended domain \
+              count.")
+
 let run kernel rando method_ mem_mib runs seed cold vmm cmdline with_devices
-    trace_out deferred_kallsyms =
+    trace_out deferred_kallsyms jobs =
   let preset, variant = kernel in
   let ws = Imk_harness.Workspace.create () in
   let kernel_config = Imk_harness.Workspace.config ws preset variant in
@@ -223,16 +232,17 @@ let run kernel rando method_ mem_mib runs seed cold vmm cmdline with_devices
       Printf.printf "trace written to %s\n" path);
   if runs > 1 then begin
     let stats =
-      Imk_harness.Boot_runner.boot_many ~cold ~runs
+      Imk_harness.Boot_runner.boot_many ~cold ~jobs
+        ~arena:(Imk_harness.Workspace.arena ws) ~runs
         ~cache:(Imk_harness.Workspace.cache ws) ~make_vm ()
     in
     let s = stats.Imk_harness.Boot_runner.total in
     Printf.printf "over %d boots: mean %.2f ms  min %.2f  max %.2f  sd %.2f\n"
       runs
-      (Imk_util.Units.ns_to_ms (int_of_float s.Imk_util.Stats.mean))
-      (Imk_util.Units.ns_to_ms (int_of_float s.Imk_util.Stats.min))
-      (Imk_util.Units.ns_to_ms (int_of_float s.Imk_util.Stats.max))
-      (Imk_util.Units.ns_to_ms (int_of_float s.Imk_util.Stats.stddev))
+      (Imk_util.Units.ns_float_to_ms s.Imk_util.Stats.mean)
+      (Imk_util.Units.ns_float_to_ms s.Imk_util.Stats.min)
+      (Imk_util.Units.ns_float_to_ms s.Imk_util.Stats.max)
+      (Imk_util.Units.ns_float_to_ms s.Imk_util.Stats.stddev)
   end;
   0
 
@@ -242,6 +252,6 @@ let cmd =
     (Cmd.info "fcsim" ~doc)
     Term.(
       const run $ kernel $ rando $ method_ $ mem_mib $ runs $ seed $ cold
-      $ vmm $ cmdline $ with_devices $ trace_out $ deferred_kallsyms)
+      $ vmm $ cmdline $ with_devices $ trace_out $ deferred_kallsyms $ jobs)
 
 let () = exit (Cmd.eval' cmd)

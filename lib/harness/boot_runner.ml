@@ -8,9 +8,11 @@ type phase_stats = {
   total : Imk_util.Stats.summary;
 }
 
-let ms s = Imk_util.Units.ns_to_ms (int_of_float s.Imk_util.Stats.mean)
+let ms s = Imk_util.Units.ns_float_to_ms s.Imk_util.Stats.mean
 
-let boot_once ?(jitter = true) ~seed ~cache vm =
+let default_jobs = ref 1
+
+let boot_once ?(jitter = true) ?arena ~seed ~cache vm =
   let clock = Clock.create () in
   let trace = Trace.create clock in
   let jitter_rng =
@@ -18,42 +20,122 @@ let boot_once ?(jitter = true) ~seed ~cache vm =
     else None
   in
   let ch = Charge.create ?jitter:jitter_rng trace Cost_model.default in
-  let result = Imk_monitor.Vmm.boot ch cache { vm with Imk_monitor.Vm_config.seed } in
+  let result =
+    Imk_monitor.Vmm.boot ?arena ch cache { vm with Imk_monitor.Vm_config.seed }
+  in
   (trace, result)
 
-let boot_many ?(warmups = 5) ?(cold = false) ~runs ~cache ~make_vm () =
+let warm_seed i = Int64.of_int (1000 + i)
+let run_seed i = Int64.of_int (2000 + i)
+
+let boot_many ?(warmups = 5) ?(cold = false) ?jobs ?arena ~runs ~cache ~make_vm
+    () =
+  let jobs = max 1 (Option.value ~default:!default_jobs jobs) in
+  (* one full boot: returns its phase breakdown (as floats, the exact
+     samples the sequential path has always recorded) and total, and
+     hands the guest memory back to the arena *)
+  let boot ~seed ~cache =
+    if cold then Imk_storage.Page_cache.drop_caches cache;
+    let trace, result = boot_once ?arena ~seed ~cache (make_vm ~seed) in
+    (* a phase the boot never entered (direct boots have no
+       decompression) reports 0 ns; drop it so its summary says n = 0
+       instead of averaging fabricated zero samples *)
+    let breakdown =
+      List.filter_map
+        (fun (p, ns) -> if ns = 0 then None else Some (p, float_of_int ns))
+        (Trace.breakdown trace)
+    in
+    let total = float_of_int (Trace.total trace) in
+    (match arena with
+    | None -> ()
+    | Some a -> Imk_memory.Arena.release a result.Imk_monitor.Vmm.mem);
+    (breakdown, total)
+  in
+  (* recorded boots in run order (index i = run i+1, seed run_seed (i+1)) *)
+  let recorded =
+    if jobs = 1 then begin
+      for i = 1 to warmups do
+        ignore (boot ~seed:(warm_seed i) ~cache)
+      done;
+      Imk_util.Par.map_tasks ~tasks:runs (fun ~worker:_ i ->
+          boot ~seed:(run_seed (i + 1)) ~cache)
+    end
+    else begin
+      (* Parallel protocol, bit-identical to sequential: the first boot
+         (warmup 1, or run 1 when there are no warmups) runs on the
+         calling domain against the shared cache, priming it with every
+         file a boot of this configuration reads (the read set does not
+         depend on the seed) and building any lazy workspace artifacts.
+         Each worker then gets its own clone of the primed cache, so all
+         remaining boots observe exactly the cache state they would have
+         seen sequentially — and each boot's virtual clock, jitter and
+         entropy are functions of its per-run seed alone. *)
+      let first_is_warmup = warmups > 0 in
+      let first_run =
+        if first_is_warmup then begin
+          ignore (boot ~seed:(warm_seed 1) ~cache);
+          None
+        end
+        else if runs > 0 then Some (boot ~seed:(run_seed 1) ~cache)
+        else None
+      in
+      let rem_warm = if first_is_warmup then warmups - 1 else 0 in
+      let rem_runs = if first_is_warmup then runs else max 0 (runs - 1) in
+      let caches =
+        Array.init jobs (fun _ -> Imk_storage.Page_cache.clone cache)
+      in
+      let results =
+        Imk_util.Par.map_tasks ~jobs ~tasks:(rem_warm + rem_runs)
+          (fun ~worker t ->
+            let cache = caches.(worker) in
+            if t < rem_warm then begin
+              ignore (boot ~seed:(warm_seed (t + 2)) ~cache);
+              None
+            end
+            else
+              let run = t - rem_warm + (if first_is_warmup then 1 else 2) in
+              Some (boot ~seed:(run_seed run) ~cache))
+      in
+      let out = Array.make runs None in
+      (match first_run with Some r -> out.(0) <- Some r | None -> ());
+      Array.iteri
+        (fun t r ->
+          match r with
+          | None -> ()
+          | Some r ->
+              let i = t - rem_warm + (if first_is_warmup then 0 else 1) in
+              out.(i) <- Some r)
+        results;
+      Array.map (function Some r -> r | None -> assert false) out
+    end
+  in
+  (* aggregation replays the sequential fold so summaries are identical
+     whatever [jobs] was: samples are prepended run by run *)
   let phase_samples = Hashtbl.create 8 in
   let totals = ref [] in
   let record phase v =
     let prev = Option.value ~default:[] (Hashtbl.find_opt phase_samples phase) in
     Hashtbl.replace phase_samples phase (v :: prev)
   in
-  let one ~seed ~recorded =
-    if cold then Imk_storage.Page_cache.drop_caches cache;
-    let trace, _result = boot_once ~seed ~cache (make_vm ~seed) in
-    if recorded then begin
-      List.iter
-        (fun (phase, ns) -> record phase (float_of_int ns))
-        (Trace.breakdown trace);
-      totals := float_of_int (Trace.total trace) :: !totals
-    end
-  in
-  for i = 1 to warmups do
-    one ~seed:(Int64.of_int (1000 + i)) ~recorded:false
-  done;
-  for i = 1 to runs do
-    one ~seed:(Int64.of_int (2000 + i)) ~recorded:true
-  done;
+  Array.iter
+    (fun (breakdown, total) ->
+      List.iter (fun (phase, v) -> record phase v) breakdown;
+      totals := total :: !totals)
+    recorded;
   let summary phase =
-    Imk_util.Stats.summarize
-      (Option.value ~default:[ 0. ] (Hashtbl.find_opt phase_samples phase))
+    match Hashtbl.find_opt phase_samples phase with
+    | None | Some [] -> Imk_util.Stats.empty
+    | Some samples -> Imk_util.Stats.summarize samples
   in
   {
     in_monitor = summary Trace.In_monitor;
     bootstrap = summary Trace.Bootstrap_setup;
     decompression = summary Trace.Decompression;
     linux_boot = summary Trace.Linux_boot;
-    total = Imk_util.Stats.summarize !totals;
+    total =
+      (match !totals with
+      | [] -> Imk_util.Stats.empty
+      | samples -> Imk_util.Stats.summarize samples);
   }
 
 let spans_by_label trace =

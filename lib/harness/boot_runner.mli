@@ -12,11 +12,20 @@ type phase_stats = {
 }
 
 val ms : Imk_util.Stats.summary -> float
-(** Mean in milliseconds (summaries are collected in ns). *)
+(** Mean in milliseconds (summaries are collected in ns). Computed on the
+    float mean directly — an earlier version truncated to whole ns first,
+    biasing sub-ms phases downward. *)
+
+val default_jobs : int ref
+(** Ambient parallelism for [boot_many] calls that don't pass [~jobs] —
+    the bench/fcsim [--jobs] flag sets this once instead of threading a
+    parameter through every experiment. Default 1 (sequential). *)
 
 val boot_many :
   ?warmups:int ->
   ?cold:bool ->
+  ?jobs:int ->
+  ?arena:Imk_memory.Arena.t ->
   runs:int ->
   cache:Imk_storage.Page_cache.t ->
   make_vm:(seed:int64 -> Imk_monitor.Vm_config.t) ->
@@ -27,17 +36,29 @@ val boot_many :
     and jittered costs. [cold] (default false) drops the page cache
     before every boot, including warmups (which then serve only to
     surface errors early). Raises whatever the boot raises — a failing
-    configuration should fail the experiment. *)
+    configuration should fail the experiment.
+
+    [arena] recycles guest memory across the boots (each boot's memory is
+    released back as soon as its trace is recorded). [jobs] (default
+    [!default_jobs]) fans the boots out over that many domains; every
+    seed is a pure function of the run index and workers get private
+    page-cache clones primed by one sequential first boot, so the
+    returned [phase_stats] are bit-identical for any [jobs] value.
+    Phases that never ran report [Imk_util.Stats.empty] (n = 0) rather
+    than a fabricated zero sample. *)
 
 val boot_once :
   ?jitter:bool ->
+  ?arena:Imk_memory.Arena.t ->
   seed:int64 ->
   cache:Imk_storage.Page_cache.t ->
   Imk_monitor.Vm_config.t ->
   Imk_vclock.Trace.t * Imk_monitor.Vmm.boot_result
 (** One instrumented boot, returning the full trace (for span-level
     analyses like Figure 5) and the result (for layout-dependent
-    analyses like LEBench and the attack simulation). *)
+    analyses like LEBench and the attack simulation). With [arena] the
+    guest memory is borrowed from the pool; the caller releases it when
+    done with the result. *)
 
 val spans_by_label : Imk_vclock.Trace.t -> (string * int) list
 (** Aggregate span durations by label, for breakdowns finer than the

@@ -106,7 +106,7 @@ let fig3 ?(runs = 20) ws =
         in
         Workspace.warm_all ws;
         let s =
-          Boot_runner.boot_many ~runs ~cache:(Workspace.cache ws) ~make_vm ()
+          Boot_runner.boot_many ~arena:(Workspace.arena ws) ~runs ~cache:(Workspace.cache ws) ~make_vm ()
         in
         Imk_util.Table.add_row table
           [
@@ -144,7 +144,7 @@ let fig4 ?(runs = 20) ws =
       let run ~cold ~method_name make_vm =
         Workspace.warm_all ws;
         let s =
-          Boot_runner.boot_many ~cold ~runs ~cache:(Workspace.cache ws) ~make_vm ()
+          Boot_runner.boot_many ~arena:(Workspace.arena ws) ~cold ~runs ~cache:(Workspace.cache ws) ~make_vm ()
         in
         Imk_util.Table.add_row table
           [
@@ -237,7 +237,7 @@ let fig6 ?(runs = 20) ws =
   in
   let measure method_name make_vm =
     Workspace.warm_all ws;
-    let s = Boot_runner.boot_many ~runs ~cache:(Workspace.cache ws) ~make_vm () in
+    let s = Boot_runner.boot_many ~arena:(Workspace.arena ws) ~runs ~cache:(Workspace.cache ws) ~make_vm () in
     Imk_util.Table.add_row table
       [
         method_name;
@@ -276,7 +276,7 @@ let fig6 ?(runs = 20) ws =
 
 (* ---------- Figure 9: main evaluation ---------- *)
 
-let fig9_cell ws preset rando ~runs ~method_ =
+let fig9_cell ?jobs ws preset rando ~runs ~method_ =
   let variant = variant_of_rando rando in
   Workspace.warm_all ws;
   let make_vm =
@@ -291,7 +291,7 @@ let fig9_cell ws preset rando ~runs ~method_ =
         bz_vm ws preset variant ~codec:"none" ~bz:Bzimage.None_optimized ~rando ()
     | `Lz4 -> bz_vm ws preset variant ~codec:"lz4" ~bz:Bzimage.Standard ~rando ()
   in
-  Boot_runner.boot_many ~runs ~cache:(Workspace.cache ws) ~make_vm ()
+  Boot_runner.boot_many ?jobs ~arena:(Workspace.arena ws) ~runs ~cache:(Workspace.cache ws) ~make_vm ()
 
 let fig9 ?(runs = 20) ws =
   let table =
@@ -301,35 +301,68 @@ let fig9 ?(runs = 20) ws =
   in
   let notes = ref [] in
   let cell = Hashtbl.create 32 in
-  List.iter
-    (fun preset ->
-      List.iter
-        (fun rando ->
-          List.iter
-            (fun (mname, m) ->
-              let s = fig9_cell ws preset rando ~runs ~method_:m in
-              Hashtbl.replace cell (preset, rando_name rando, mname)
-                (msf s.Boot_runner.total);
-              Imk_util.Table.add_row table
-                [
-                  pname preset;
-                  rando_name rando;
-                  mname;
-                  msv (msf s.Boot_runner.in_monitor);
-                  msv (msf s.Boot_runner.bootstrap);
-                  msv (msf s.Boot_runner.decompression);
-                  msv (msf s.Boot_runner.linux_boot);
-                  msv (msf s.Boot_runner.total);
-                  msv (Imk_util.Units.ns_to_ms (int_of_float s.Boot_runner.total.Imk_util.Stats.min));
-                  msv (Imk_util.Units.ns_to_ms (int_of_float s.Boot_runner.total.Imk_util.Stats.max));
-                ])
-            [
-              ("in-monitor/direct", `Direct);
-              ("none-optimized", `None_opt);
-              ("lz4", `Lz4);
-            ])
-        [ Vm_config.Rando_off; Vm_config.Rando_kaslr; Vm_config.Rando_fgkaslr ])
-    presets;
+  (* the 27 (preset x rando x method) cells are independent experiments;
+     with an ambient --jobs > 1 they fan out over worker domains, each
+     with its own clone_fresh workspace (private disk/cache/builds), and
+     the inner boot_many stays sequential. Kernel builds and boot costs
+     are pure functions of the cell and its fixed seeds, so the table is
+     identical to the sequential one. *)
+  let cells =
+    List.concat_map
+      (fun preset ->
+        List.concat_map
+          (fun rando ->
+            List.map
+              (fun (mname, m) -> (preset, rando, mname, m))
+              [
+                ("in-monitor/direct", `Direct);
+                ("none-optimized", `None_opt);
+                ("lz4", `Lz4);
+              ])
+          [ Vm_config.Rando_off; Vm_config.Rando_kaslr; Vm_config.Rando_fgkaslr ])
+      presets
+  in
+  let cells = Array.of_list cells in
+  let jobs = max 1 !Boot_runner.default_jobs in
+  let stats =
+    if jobs = 1 then
+      Array.map (fun (p, r, _, m) -> fig9_cell ws p r ~runs ~method_:m) cells
+    else begin
+      let workspaces = Array.make jobs None in
+      workspaces.(0) <- Some ws;
+      Imk_util.Par.map_tasks ~jobs ~tasks:(Array.length cells)
+        (fun ~worker i ->
+          let wws =
+            match workspaces.(worker) with
+            | Some w -> w
+            | None ->
+                let w = Workspace.clone_fresh ws in
+                workspaces.(worker) <- Some w;
+                w
+          in
+          let p, r, _, m = cells.(i) in
+          fig9_cell ~jobs:1 wws p r ~runs ~method_:m)
+    end
+  in
+  Array.iteri
+    (fun i (preset, rando, mname, _) ->
+      let s = stats.(i) in
+      Hashtbl.replace cell (preset, rando_name rando, mname)
+        (msf s.Boot_runner.total);
+      Imk_util.Table.add_row table
+        [
+          pname preset;
+          rando_name rando;
+          mname;
+          msv (msf s.Boot_runner.in_monitor);
+          msv (msf s.Boot_runner.bootstrap);
+          msv (msf s.Boot_runner.decompression);
+          msv (msf s.Boot_runner.linux_boot);
+          msv (msf s.Boot_runner.total);
+          msv (Imk_util.Units.ns_to_ms (int_of_float s.Boot_runner.total.Imk_util.Stats.min));
+          msv (Imk_util.Units.ns_to_ms (int_of_float s.Boot_runner.total.Imk_util.Stats.max));
+        ])
+    cells;
   let get p r m = Hashtbl.find cell (p, r, m) in
   List.iter
     (fun preset ->
@@ -383,7 +416,7 @@ let fig10 ?(runs = 5) ws =
                 direct_vm ws preset (variant_of_rando rando) ~rando ~mem ()
               in
               let s =
-                Boot_runner.boot_many ~runs ~cache:(Workspace.cache ws) ~make_vm ()
+                Boot_runner.boot_many ~arena:(Workspace.arena ws) ~runs ~cache:(Workspace.cache ws) ~make_vm ()
               in
               im_values := msf s.Boot_runner.in_monitor :: !im_values;
               Imk_util.Table.add_row table
@@ -473,7 +506,7 @@ let qemu_check ?(runs = 10) ws =
           (fun (mname, make_vm) ->
             Workspace.warm_all ws;
             let s =
-              Boot_runner.boot_many ~runs ~cache:(Workspace.cache ws) ~make_vm ()
+              Boot_runner.boot_many ~arena:(Workspace.arena ws) ~runs ~cache:(Workspace.cache ws) ~make_vm ()
             in
             Imk_util.Table.add_row table
               [
@@ -530,13 +563,15 @@ let throughput ?(runs = 30) ws =
            else Vm_config.Kallsyms_eager)
         ()
     in
+    let arena = Workspace.arena ws in
     let boots = ref [] in
     for i = 1 to runs do
-      let trace, _ =
-        Boot_runner.boot_once ~seed:(Int64.of_int (3000 + i))
+      let trace, result =
+        Boot_runner.boot_once ~arena ~seed:(Int64.of_int (3000 + i))
           ~cache:(Workspace.cache ws) (make_vm ~seed:(Int64.of_int (3000 + i)))
       in
-      boots := Imk_util.Units.ns_to_ms (Imk_vclock.Trace.total trace) :: !boots
+      boots := Imk_util.Units.ns_to_ms (Imk_vclock.Trace.total trace) :: !boots;
+      Imk_memory.Arena.release arena result.Imk_monitor.Vmm.mem
     done;
     Array.of_list !boots
   in
@@ -704,7 +739,7 @@ let ablation_kallsyms ?(runs = 20) ws =
       direct_vm ws Config.Aws Config.Fgkaslr ~rando:Vm_config.Rando_fgkaslr
         ~kallsyms:policy ()
     in
-    Boot_runner.boot_many ~runs ~cache:(Workspace.cache ws) ~make_vm ()
+    Boot_runner.boot_many ~arena:(Workspace.arena ws) ~runs ~cache:(Workspace.cache ws) ~make_vm ()
   in
   let eager = boot Vm_config.Kallsyms_eager in
   let deferred = boot Vm_config.Kallsyms_deferred in
@@ -763,7 +798,7 @@ let ablation_orc ?(runs = 20) ws =
         ~relocs_path:(Some "aws-fgkaslr-orc.relocs") ~orc
         ~kernel_path:"aws-fgkaslr-orc.vmlinux" ~kernel_config:cfg ~seed ()
     in
-    Boot_runner.boot_many ~runs ~cache:(Workspace.cache ws) ~make_vm ()
+    Boot_runner.boot_many ~arena:(Workspace.arena ws) ~runs ~cache:(Workspace.cache ws) ~make_vm ()
   in
   let skip = boot Vm_config.Orc_skip in
   let update = boot Vm_config.Orc_update in
@@ -848,7 +883,7 @@ let ablation_rerando ?(runs = 20) ws =
   in
   let measure name make_vm ~reboot =
     Workspace.warm_all ws;
-    let s = Boot_runner.boot_many ~runs ~cache:(Workspace.cache ws) ~make_vm () in
+    let s = Boot_runner.boot_many ~arena:(Workspace.arena ws) ~runs ~cache:(Workspace.cache ws) ~make_vm () in
     let boot_ms = msf s.Boot_runner.total in
     let per_invocation =
       if reboot then boot_ms +. invocation_ms else invocation_ms
@@ -909,7 +944,7 @@ let ablation_devices ?(runs = 20) ws =
         ~kernel_config:(Workspace.config ws Config.Aws Config.Kaslr)
         ~seed ()
     in
-    let s = Boot_runner.boot_many ~runs ~cache:(Workspace.cache ws) ~make_vm () in
+    let s = Boot_runner.boot_many ~arena:(Workspace.arena ws) ~runs ~cache:(Workspace.cache ws) ~make_vm () in
     Imk_util.Table.add_row table
       [
         profile.Profiles.name;
@@ -974,7 +1009,7 @@ let ablation_unikernel ?(runs = 20) ws =
         ~kernel_path:kernel ~kernel_config:{ cfg with Config.name = cfg.Config.name }
         ~seed ()
     in
-    let s = Boot_runner.boot_many ~runs ~cache:(Workspace.cache ws) ~make_vm () in
+    let s = Boot_runner.boot_many ~arena:(Workspace.arena ws) ~runs ~cache:(Workspace.cache ws) ~make_vm () in
     (* layout diversity across instances *)
     let bases = Hashtbl.create 32 in
     for i = 1 to 20 do
@@ -1035,7 +1070,7 @@ let ablation_zygote ?(runs = 10) ws =
   let working_set_pages = 2048 (* 8 MiB touched before first request *) in
   (* fresh boots *)
   let fresh =
-    Boot_runner.boot_many ~runs:10 ~cache:(Workspace.cache ws) ~make_vm ()
+    Boot_runner.boot_many ~arena:(Workspace.arena ws) ~runs:10 ~cache:(Workspace.cache ws) ~make_vm ()
   in
   let fresh_ms = msf fresh.Boot_runner.total in
   Imk_util.Table.add_row table

@@ -1,0 +1,97 @@
+let schema_version = 1
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* pick the column whose mean the JSON should carry: experiments label
+   their headline number "total ms" (boot experiments), else the first
+   millisecond column wins ("boot ms", "create ms", ...) *)
+let value_column headers =
+  let lower = List.map String.lowercase_ascii headers in
+  let index_of p =
+    let rec go i = function
+      | [] -> None
+      | h :: t -> if p h then Some i else go (i + 1) t
+    in
+    go 0 lower
+  in
+  match index_of (fun h -> h = "total ms") with
+  | Some i -> Some i
+  | None -> (
+      match index_of (fun h -> h = "boot ms" || h = "create ms") with
+      | Some i -> Some i
+      | None ->
+          index_of (fun h ->
+              let n = String.length h in
+              n >= 2 && String.sub h (n - 2) 2 = "ms"))
+
+let boot_means (o : Experiments.output) =
+  let headers = Imk_util.Table.headers o.Experiments.table in
+  match value_column headers with
+  | None -> []
+  | Some vi ->
+      List.filter_map
+        (fun row ->
+          let cells = Array.of_list row in
+          if vi >= Array.length cells then None
+          else
+            match float_of_string_opt (String.trim cells.(vi)) with
+            | None -> None
+            | Some v ->
+                (* the label is the row's non-numeric cells left of the
+                   value — e.g. "aws/kaslr/lz4" for a fig9 row *)
+                let label =
+                  Array.to_list (Array.sub cells 0 vi)
+                  |> List.filter (fun c ->
+                         c <> "" && float_of_string_opt (String.trim c) = None)
+                  |> String.concat "/"
+                in
+                Some ((if label = "" then "all" else label), v))
+        (Imk_util.Table.rows o.Experiments.table)
+
+let to_json ~experiment ~runs ~jobs ~scale ~functions ~wall_clock_s boot_ms =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"schema\": %d,\n" schema_version);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"experiment\": \"%s\",\n" (json_escape experiment));
+  Buffer.add_string buf (Printf.sprintf "  \"runs\": %d,\n" runs);
+  Buffer.add_string buf (Printf.sprintf "  \"jobs\": %d,\n" jobs);
+  Buffer.add_string buf (Printf.sprintf "  \"scale\": %d,\n" scale);
+  Buffer.add_string buf
+    (match functions with
+    | None -> "  \"functions\": null,\n"
+    | Some f -> Printf.sprintf "  \"functions\": %d,\n" f);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"wall_clock_s\": %.3f,\n" wall_clock_s);
+  Buffer.add_string buf "  \"boot_ms\": [";
+  List.iteri
+    (fun i (label, mean) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "\n    { \"label\": \"%s\", \"mean_ms\": %.3f }"
+           (json_escape label) mean))
+    boot_ms;
+  if boot_ms <> [] then Buffer.add_string buf "\n  ";
+  Buffer.add_string buf "]\n}\n";
+  Buffer.contents buf
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)

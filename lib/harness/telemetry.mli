@@ -1,0 +1,41 @@
+(** Wall-clock bench telemetry.
+
+    The virtual clock measures the {e simulated} boots; this module
+    records how long the simulation itself took, so harness perf work
+    (arena reuse, [--jobs] fan-out) has before/after numbers.
+    [bench/main.exe] writes one [BENCH_<exp>.json] per experiment:
+
+    {v
+    { "schema": 1,
+      "experiment": "fig9",
+      "runs": 5, "jobs": 1, "scale": 16, "functions": null,
+      "wall_clock_s": 7.412,
+      "boot_ms": [ { "label": "aws/nokaslr/in-monitor/direct",
+                     "mean_ms": 25.1 }, ... ] }
+    v}
+
+    [functions] is [null] unless [--functions] shrank the kernels.
+    Emitted by hand — no JSON dependency. *)
+
+val schema_version : int
+
+val boot_means : Experiments.output -> (string * float) list
+(** Extract [(label, mean_ms)] per table row from an experiment's
+    headline millisecond column ("total ms", else "boot ms"/"create ms",
+    else the first column ending in "ms"). Labels join the row's
+    non-numeric leading cells with ["/"]. Experiments without a
+    millisecond column yield []. *)
+
+val to_json :
+  experiment:string ->
+  runs:int ->
+  jobs:int ->
+  scale:int ->
+  functions:int option ->
+  wall_clock_s:float ->
+  (string * float) list ->
+  string
+
+val write_file : string -> string -> unit
+(** [write_file path contents] (re)writes [path] atomically enough for a
+    bench artifact: open, write, close. *)

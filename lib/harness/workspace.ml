@@ -3,6 +3,7 @@ open Imk_kernel
 type t = {
   disk : Imk_storage.Disk.t;
   cache : Imk_storage.Page_cache.t;
+  arena : Imk_memory.Arena.t;
   scale : int;
   functions_override : int option;
   builds : (string, Image.built) Hashtbl.t;
@@ -14,6 +15,7 @@ let create ?(scale = 16) ?functions_override () =
   {
     disk;
     cache = Imk_storage.Page_cache.create disk;
+    arena = Imk_memory.Arena.create ();
     scale;
     functions_override;
     builds = Hashtbl.create 16;
@@ -22,6 +24,14 @@ let create ?(scale = 16) ?functions_override () =
 
 let disk t = t.disk
 let cache t = t.cache
+let arena t = t.arena
+
+let clone_fresh t =
+  (* same kernel matrix parameters, nothing built yet; the arena is
+     shared — it is the one mutex-protected piece, and pooled buffers
+     are interchangeable across workspaces of equal mem size *)
+  { (create ~scale:t.scale ?functions_override:t.functions_override ()) with
+    arena = t.arena }
 
 let config t preset variant =
   let base = Config.make ~scale:t.scale preset variant in

@@ -14,6 +14,16 @@ val create : ?scale:int -> ?functions_override:int -> unit -> t
 val disk : t -> Imk_storage.Disk.t
 val cache : t -> Imk_storage.Page_cache.t
 
+val arena : t -> Imk_memory.Arena.t
+(** The workspace's guest-memory recycling pool, passed to
+    [Boot_runner.boot_many ~arena] by every experiment. *)
+
+val clone_fresh : t -> t
+(** A new workspace with the same [scale]/[functions_override] but
+    nothing built, sharing only the (thread-safe) arena. Used to give
+    each worker domain its own disk/cache/build tables when experiments
+    parallelize across cells rather than across repetitions. *)
+
 val config : t -> Imk_kernel.Config.preset -> Imk_kernel.Config.variant -> Imk_kernel.Config.t
 
 val built :

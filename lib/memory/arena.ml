@@ -1,0 +1,88 @@
+(* Guest-memory arena: recycle Guest_mem buffers across boots.
+
+   Allocating and page-fault-zeroing a fresh 256 MiB guest for every boot
+   dominates the harness's wall clock (the virtual clock charges for
+   zeroing stay with the boot path — this pool only removes the *real*
+   allocation work, per the "virtual time, real work" rule). Buffers are
+   scrubbed on release, so a borrowed buffer is indistinguishable from a
+   fresh [Guest_mem.create]: all-zero, empty dirty extent, no bytes from
+   the previous tenant. Firecracker wins the same way by recycling microVM
+   resources across instantiations.
+
+   The pool is shared between domains (the harness fans boots out over a
+   domain pool), so the free lists live behind a mutex. Scrubbing happens
+   outside the lock. *)
+
+type t = {
+  lock : Mutex.t;
+  free : (int, Guest_mem.t list) Hashtbl.t;  (* size -> scrubbed buffers *)
+  max_per_size : int;
+  max_bytes : int;
+  mutable pooled_bytes : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ?max_per_size ?(max_bytes = 8 * 1024 * 1024 * 1024) () =
+  let max_per_size =
+    match max_per_size with
+    | Some n ->
+        if n < 0 then invalid_arg "Arena.create: negative max_per_size";
+        n
+    | None -> max 2 (Domain.recommended_domain_count ())
+  in
+  {
+    lock = Mutex.create ();
+    free = Hashtbl.create 4;
+    max_per_size;
+    max_bytes;
+    pooled_bytes = 0;
+    hits = 0;
+    misses = 0;
+  }
+
+let borrow t ~size =
+  if size <= 0 then invalid_arg "Arena.borrow: non-positive size";
+  Mutex.lock t.lock;
+  let reused =
+    match Hashtbl.find_opt t.free size with
+    | Some (m :: rest) ->
+        Hashtbl.replace t.free size rest;
+        t.pooled_bytes <- t.pooled_bytes - size;
+        t.hits <- t.hits + 1;
+        Some m
+    | Some [] | None ->
+        t.misses <- t.misses + 1;
+        None
+  in
+  Mutex.unlock t.lock;
+  match reused with Some m -> m | None -> Guest_mem.create ~size
+
+let release t mem =
+  (* the expensive part — zeroing the dirty extent — runs outside the
+     lock so concurrent borrowers are not serialized behind it *)
+  Guest_mem.scrub mem;
+  let size = Guest_mem.size mem in
+  Mutex.lock t.lock;
+  let existing = Option.value ~default:[] (Hashtbl.find_opt t.free size) in
+  if
+    List.length existing < t.max_per_size
+    && t.pooled_bytes + size <= t.max_bytes
+  then begin
+    Hashtbl.replace t.free size (mem :: existing);
+    t.pooled_bytes <- t.pooled_bytes + size
+  end;
+  (* otherwise drop it on the floor for the GC — the pool is full *)
+  Mutex.unlock t.lock
+
+let pooled_bytes t =
+  Mutex.lock t.lock;
+  let n = t.pooled_bytes in
+  Mutex.unlock t.lock;
+  n
+
+let stats t =
+  Mutex.lock t.lock;
+  let s = (t.hits, t.misses) in
+  Mutex.unlock t.lock;
+  s

@@ -1,0 +1,48 @@
+(** A pool that recycles {!Guest_mem} buffers across boots.
+
+    The repeated-boot harness allocates one guest memory per boot;
+    faulting in a fresh zeroed 256 MiB buffer each time costs far more
+    real time than the boot's actual data movement. The arena keeps
+    released buffers and scrubs only their dirty extent (the bytes the
+    previous boot wrote), so a recycled buffer is observably identical to
+    a fresh [Guest_mem.create ~size]: all-zero and with an empty dirty
+    extent. This is also a security property of the simulator — no bytes
+    of a previous guest may survive into the next one — and is enforced
+    by a qcheck property in [test/test_memory.ml].
+
+    Virtual-clock accounting is unaffected: boots charge zeroing costs
+    through [Imk_vclock.Charge] exactly as before; only real allocation
+    work is removed ("virtual time, real work", DESIGN.md §4.1).
+
+    All operations are thread-safe; one arena may serve a whole domain
+    pool. *)
+
+type t
+
+val create : ?max_per_size:int -> ?max_bytes:int -> unit -> t
+(** [create ()] makes an empty arena. At most [max_per_size] free buffers
+    are retained per distinct size (default
+    [max 2 (Domain.recommended_domain_count ())] — enough for every
+    worker of a default-size domain pool), and at most [max_bytes] in
+    total (default 8 GiB); releases beyond either bound simply drop the
+    buffer for the GC, so the arena degrades to today's
+    allocate-per-boot behaviour rather than hoarding memory. *)
+
+val borrow : t -> size:int -> Guest_mem.t
+(** [borrow t ~size] returns an all-zero guest memory of exactly [size]
+    bytes — recycled if a buffer of that size is free, freshly allocated
+    otherwise. The caller owns it until {!release}. *)
+
+val release : t -> Guest_mem.t -> unit
+(** [release t mem] scrubs [mem] (zeroing its dirty extent) and returns
+    it to the pool. The caller must not use [mem] afterwards. Buffers
+    borrowed elsewhere may also be released here, as long as every write
+    to them went through the [Guest_mem] API ([Guest_mem.raw] marks the
+    whole guest dirty, so even that is safe — just slow to scrub). *)
+
+val pooled_bytes : t -> int
+(** Total bytes currently held in free lists. *)
+
+val stats : t -> int * int
+(** [(hits, misses)] — borrows served from the pool vs fresh
+    allocations, for telemetry and tests. *)

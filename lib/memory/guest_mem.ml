@@ -1,4 +1,8 @@
-type t = { data : bytes }
+type t = {
+  data : bytes;
+  mutable dirty_lo : int;  (* lowest byte written since the last scrub *)
+  mutable dirty_hi : int;  (* one past the highest byte written *)
+}
 
 exception Fault of string
 
@@ -6,7 +10,7 @@ let fault fmt = Printf.ksprintf (fun s -> raise (Fault s)) fmt
 
 let create ~size =
   if size <= 0 then invalid_arg "Guest_mem.create: non-positive size";
-  { data = Bytes.make size '\000' }
+  { data = Bytes.make size '\000'; dirty_lo = max_int; dirty_hi = 0 }
 
 let size t = Bytes.length t.data
 
@@ -15,14 +19,33 @@ let check t pa len what =
     fault "%s at %#x+%d outside guest memory of %d bytes" what pa len
       (Bytes.length t.data)
 
+(* every mutation widens the dirty extent; scrubbing only has to erase
+   the bytes a boot actually touched, not the whole guest *)
+let touch t pa len =
+  if len > 0 then begin
+    if pa < t.dirty_lo then t.dirty_lo <- pa;
+    if pa + len > t.dirty_hi then t.dirty_hi <- pa + len
+  end
+
+let dirty_extent t = if t.dirty_hi <= t.dirty_lo then None else Some (t.dirty_lo, t.dirty_hi)
+
+let scrub t =
+  (match dirty_extent t with
+  | None -> ()
+  | Some (lo, hi) -> Bytes.fill t.data lo (hi - lo) '\000');
+  t.dirty_lo <- max_int;
+  t.dirty_hi <- 0
+
 let write_bytes t ~pa b =
   check t pa (Bytes.length b) "write";
+  touch t pa (Bytes.length b);
   Bytes.blit b 0 t.data pa (Bytes.length b)
 
 let write_sub t ~pa ~src ~src_off ~len =
   check t pa len "write";
   if src_off < 0 || src_off + len > Bytes.length src then
     invalid_arg "Guest_mem.write_sub: source range";
+  touch t pa len;
   Bytes.blit src src_off t.data pa len
 
 let read_bytes t ~pa ~len =
@@ -32,10 +55,12 @@ let read_bytes t ~pa ~len =
 let copy_within t ~src ~dst ~len =
   check t src len "copy source";
   check t dst len "copy destination";
+  touch t dst len;
   Bytes.blit t.data src t.data dst len
 
 let zero t ~pa ~len =
   check t pa len "zero";
+  touch t pa len;
   Bytes.fill t.data pa len '\000'
 
 let get_u8 t ~pa =
@@ -48,6 +73,7 @@ let get_u32 t ~pa =
 
 let set_u32 t ~pa v =
   check t pa 4 "write u32";
+  touch t pa 4;
   Imk_util.Byteio.set_u32 t.data pa v
 
 let get_u32_signed t ~pa =
@@ -60,10 +86,15 @@ let get_addr t ~pa =
 
 let set_addr t ~pa v =
   check t pa 8 "write u64";
+  touch t pa 8;
   Imk_util.Byteio.set_addr t.data pa v
 
 let get_i64 t ~pa =
   check t pa 8 "read i64";
   Imk_util.Byteio.get_i64 t.data pa
 
-let raw t = t.data
+let raw t =
+  (* the backing store escapes the write-tracking API: assume the whole
+     guest is dirty so arena recycling can never leak stale bytes *)
+  touch t 0 (Bytes.length t.data);
+  t.data

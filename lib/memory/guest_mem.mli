@@ -16,6 +16,19 @@ val create : size:int -> t
 
 val size : t -> int
 
+val dirty_extent : t -> (int * int) option
+(** [dirty_extent t] is the smallest [(lo, hi)] half-open byte range
+    covering every write since creation or the last {!scrub}, or [None]
+    if nothing was written. Taking {!raw} conservatively dirties the
+    whole guest, since writes through it are invisible to the tracker. *)
+
+val scrub : t -> unit
+(** [scrub t] zeroes the dirty extent and resets it, restoring the
+    all-zero state of a fresh [create] while touching only the bytes a
+    previous user actually wrote — the cheap half of recycling guest
+    memory through {!Arena}. Real work only; virtual-clock zeroing
+    charges are the boot path's business, exactly as for [create]. *)
+
 val write_bytes : t -> pa:int -> bytes -> unit
 (** [write_bytes t ~pa b] copies all of [b] to physical address [pa]. *)
 

@@ -322,10 +322,14 @@ let run_loader ch (config : Vm_config.t) bz mem =
       ~config:config.kernel_config ~rando ~policy ~rng:guest_rng
   with Imk_bootstrap.Loader.Loader_error m -> fail "bootstrap loader: %s" m
 
-let boot ch cache (config : Vm_config.t) =
+let boot ?arena ch cache (config : Vm_config.t) =
   if config.mem_bytes < 32 * 1024 * 1024 then
     fail "guest memory too small (%d bytes)" config.mem_bytes;
-  let mem = Guest_mem.create ~size:config.mem_bytes in
+  let mem =
+    match arena with
+    | None -> Guest_mem.create ~size:config.mem_bytes
+    | Some a -> Arena.borrow a ~size:config.mem_bytes
+  in
   let staged =
     Charge.span ch Trace.In_monitor "in-monitor" (fun () ->
         Charge.pay ch config.profile.Profiles.vmm_init_ns;

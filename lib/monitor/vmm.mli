@@ -42,8 +42,20 @@ val staging_pa : int
     runs (4 MiB, below the kernel's 16 MiB load address). *)
 
 val boot :
-  Imk_vclock.Charge.t -> Imk_storage.Page_cache.t -> Vm_config.t -> boot_result
+  ?arena:Imk_memory.Arena.t ->
+  Imk_vclock.Charge.t ->
+  Imk_storage.Page_cache.t ->
+  Vm_config.t ->
+  boot_result
 (** [boot charge cache config] performs one boot, charging In-Monitor /
     Bootstrap / Decompression / Linux Boot spans to [charge]'s trace.
     Reads images through [cache], so cold-vs-warm behaviour follows the
-    cache state the experiment set up. *)
+    cache state the experiment set up.
+
+    [arena] makes the monitor borrow the guest's memory from a recycling
+    pool instead of allocating it — the real-allocation analogue of
+    Firecracker reusing microVM resources. Virtual-clock charges are
+    identical either way. The caller that drops the returned [mem] is
+    responsible for [Imk_memory.Arena.release]-ing it; results that
+    escape for analysis (LEBench, attacks) should simply never be
+    released. *)

@@ -1,6 +1,7 @@
 type t = { disk : Disk.t; cached : (string, unit) Hashtbl.t }
 
 let create disk = { disk; cached = Hashtbl.create 16 }
+let clone t = { disk = t.disk; cached = Hashtbl.copy t.cached }
 
 let read t name =
   let contents = Disk.find t.disk name in

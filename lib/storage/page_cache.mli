@@ -10,6 +10,13 @@ type t
 
 val create : Disk.t -> t
 
+val clone : t -> t
+(** [clone t] is an independent cache with the same warm set, sharing the
+    backing disk. The parallel boot harness hands each worker domain its
+    own clone: cache state is per-host-process in real life, but the
+    cache's [Hashtbl] is not thread-safe, and per-worker clones taken
+    after a priming boot make parallel runs byte-for-byte deterministic. *)
+
 val read : t -> string -> bytes * bool
 (** [read t name] returns [(contents, was_cached)] and marks the file
     cached. Raises [Not_found] for unknown files. *)

@@ -45,6 +45,9 @@ let summarize_array xs =
 
 let summarize xs = summarize_array (Array.of_list xs)
 
+let empty =
+  { n = 0; mean = 0.; min = 0.; max = 0.; stddev = 0.; p50 = 0.; p90 = 0.; p99 = 0. }
+
 let mean xs =
   match xs with
   | [] -> invalid_arg "Stats.mean: no samples"

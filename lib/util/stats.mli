@@ -22,6 +22,12 @@ val summarize : float list -> summary
 val summarize_array : float array -> summary
 (** [summarize_array xs] is [summarize] over an array (not modified). *)
 
+val empty : summary
+(** [empty] is the summary of a phase with no samples: [n = 0] and every
+    moment zero. Reported instead of fabricating a fake [0.] sample when
+    a boot path never enters a phase (e.g. decompression on a direct
+    boot). Check [n] before treating the moments as measurements. *)
+
 val mean : float list -> float
 (** [mean xs] is the arithmetic mean. Raises [Invalid_argument] on []. *)
 

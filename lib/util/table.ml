@@ -14,6 +14,11 @@ let add_row t cells =
   t.rows <- Cells padded :: t.rows
 
 let add_rule t = t.rows <- Rule :: t.rows
+let headers t = t.headers
+
+let rows t =
+  List.rev
+    (List.filter_map (function Cells c -> Some c | Rule -> None) t.rows)
 
 let render t =
   let rows = List.rev t.rows in

@@ -17,6 +17,14 @@ val add_row : t -> string list -> unit
 val add_rule : t -> unit
 (** [add_rule t] appends a horizontal separator row. *)
 
+val headers : t -> string list
+(** [headers t] returns the column headers, for consumers that export the
+    table (e.g. the bench telemetry JSON) rather than render it. *)
+
+val rows : t -> string list list
+(** [rows t] returns the data rows in insertion order, rules excluded.
+    Each row has exactly as many cells as there are headers. *)
+
 val render : t -> string
 (** [render t] lays the table out with each column as wide as its widest
     cell and returns the final string (including a trailing newline). *)

@@ -22,6 +22,10 @@ val bytes_to_string : int -> string
 val ns_to_ms : int -> float
 (** [ns_to_ms ns] converts nanoseconds to milliseconds. *)
 
+val ns_float_to_ms : float -> float
+(** [ns_float_to_ms ns] converts a fractional nanosecond quantity (e.g. a
+    mean over samples) to milliseconds without truncating through int. *)
+
 val ms_to_ns : float -> int
 (** [ms_to_ns ms] converts milliseconds to nanoseconds (rounded). *)
 

@@ -1,0 +1,49 @@
+#!/bin/sh
+# Repo lint: fail on uninitialized Bytes.create outside the allowlist.
+#
+# Bytes.create returns UNINITIALIZED memory; everywhere the repo needs
+# zeroed bytes it must use Bytes.make n '\000' (CLAUDE.md gotcha — a
+# Guest_mem or loader built on Bytes.create would leak heap garbage into
+# the "guest"). The files below are audited: every Bytes.create there is
+# immediately and fully overwritten (codec output buffers, synthetic
+# image section builders, a read_file that really_input-fills it).
+# Add a file here only after checking the same holds.
+
+set -eu
+cd "$(dirname "$0")"
+
+allowlist='
+lib/compress/bwt.ml
+lib/compress/codec.ml
+lib/compress/lz4.ml
+lib/compress/lz77.ml
+lib/compress/lzma.ml
+lib/compress/mtf.ml
+lib/compress/xz.ml
+lib/elf/note.ml
+lib/elf/parser.ml
+lib/elf/relocation.ml
+lib/guest/boot_params.ml
+lib/kernel/image.ml
+lib/kernel/initrd.ml
+lib/kernel/rootfs.ml
+bin/relocs.ml
+'
+
+status=0
+for f in $(find lib bin bench examples -name '*.ml' 2>/dev/null | sort); do
+  case "$allowlist" in
+  *"
+$f
+"*) continue ;;
+  esac
+  if grep -n 'Bytes\.create' "$f"; then
+    echo "lint: $f uses Bytes.create (uninitialized) and is not allowlisted" >&2
+    status=1
+  fi
+done
+
+if [ "$status" -ne 0 ]; then
+  echo "lint: use Bytes.make n '\\000', or audit the use and extend lint.sh" >&2
+fi
+exit "$status"

@@ -76,6 +76,87 @@ let test_boot_runner_stats () =
      in
      abs_float (sum -. s.Boot_runner.total.Imk_util.Stats.mean) < 1000.)
 
+let test_boot_many_parallel_identical () =
+  (* jobs must never change the numbers: same seeds, per-worker cache
+     clones, order-preserving aggregation *)
+  let run jobs =
+    let ws = small_ws () in
+    Workspace.warm_all ws;
+    let make_vm ~seed =
+      Imk_monitor.Vm_config.make ~rando:Imk_monitor.Vm_config.Rando_kaslr
+        ~relocs_path:(Some (Workspace.relocs_path ws Config.Aws Config.Kaslr))
+        ~kernel_path:(Workspace.vmlinux_path ws Config.Aws Config.Kaslr)
+        ~kernel_config:(Workspace.config ws Config.Aws Config.Kaslr)
+        ~mem_bytes:(64 * 1024 * 1024) ~seed ()
+    in
+    Boot_runner.boot_many ~warmups:2 ~jobs ~arena:(Workspace.arena ws) ~runs:6
+      ~cache:(Workspace.cache ws) ~make_vm ()
+  in
+  let seq = run 1 in
+  let par = run 4 in
+  check Alcotest.bool "phase_stats bit-identical" true (seq = par);
+  (* and without warmups, where run 1 doubles as the priming boot *)
+  let run0 jobs =
+    let ws = small_ws () in
+    Workspace.warm_all ws;
+    let make_vm ~seed =
+      Imk_monitor.Vm_config.make ~rando:Imk_monitor.Vm_config.Rando_kaslr
+        ~relocs_path:(Some (Workspace.relocs_path ws Config.Aws Config.Kaslr))
+        ~kernel_path:(Workspace.vmlinux_path ws Config.Aws Config.Kaslr)
+        ~kernel_config:(Workspace.config ws Config.Aws Config.Kaslr)
+        ~mem_bytes:(64 * 1024 * 1024) ~seed ()
+    in
+    Boot_runner.boot_many ~warmups:0 ~jobs ~arena:(Workspace.arena ws) ~runs:5
+      ~cache:(Workspace.cache ws) ~make_vm ()
+  in
+  check Alcotest.bool "warmups:0 bit-identical" true (run0 1 = run0 3)
+
+let test_empty_phase_reports_zero_count () =
+  (* a direct boot has no decompression phase; its summary must say
+     n = 0, not fabricate a zero sample *)
+  let ws = small_ws () in
+  Workspace.warm_all ws;
+  let make_vm ~seed =
+    Imk_monitor.Vm_config.make ~rando:Imk_monitor.Vm_config.Rando_off
+      ~kernel_path:(Workspace.vmlinux_path ws Config.Aws Config.Nokaslr)
+      ~kernel_config:(Workspace.config ws Config.Aws Config.Nokaslr)
+      ~mem_bytes:(64 * 1024 * 1024) ~seed ()
+  in
+  let s =
+    Boot_runner.boot_many ~warmups:1 ~runs:3 ~arena:(Workspace.arena ws)
+      ~cache:(Workspace.cache ws) ~make_vm ()
+  in
+  check int "no decompression samples" 0
+    s.Boot_runner.decompression.Imk_util.Stats.n;
+  check int "3 totals" 3 s.Boot_runner.total.Imk_util.Stats.n;
+  check (Alcotest.float 0.) "empty phase mean is 0" 0.
+    (Boot_runner.ms s.Boot_runner.decompression)
+
+let test_ms_keeps_fractional_ns () =
+  let s = Imk_util.Stats.summarize [ 1.; 2. ] in
+  check (Alcotest.float 1e-15) "fractional ns survive" 1.5e-6
+    (Boot_runner.ms s)
+
+let test_telemetry_json () =
+  let o = Experiments.fig6 ~runs:2 (small_ws ()) in
+  let means = Telemetry.boot_means o in
+  check int "one mean per row" 4 (List.length means);
+  check Alcotest.bool "labelled" true (List.mem_assoc "lz4" means);
+  let json =
+    Telemetry.to_json ~experiment:"fig6" ~runs:2 ~jobs:1 ~scale:4
+      ~functions:(Some 50) ~wall_clock_s:0.25 means
+  in
+  let has needle =
+    let rec go i =
+      i + String.length needle <= String.length json
+      && (String.sub json i (String.length needle) = needle || go (i + 1))
+    in
+    go 0
+  in
+  check Alcotest.bool "has wall clock" true (has "\"wall_clock_s\": 0.250");
+  check Alcotest.bool "has experiment" true (has "\"experiment\": \"fig6\"");
+  check Alcotest.bool "has label" true (has "\"label\": \"lz4\"")
+
 let test_boot_once_spans () =
   let ws = small_ws () in
   Workspace.warm_all ws;
@@ -151,6 +232,19 @@ let test_throughput_smoke () =
   check Alcotest.bool "ordering note present" true
     (note_contains o "FGKASLR costs")
 
+let test_fig9_parallel_identical () =
+  (* cell-level fan-out with per-worker workspaces renders the exact
+     table the sequential run does *)
+  let render jobs =
+    Boot_runner.default_jobs := jobs;
+    Fun.protect
+      ~finally:(fun () -> Boot_runner.default_jobs := 1)
+      (fun () ->
+        let o = Experiments.fig9 ~runs:2 (small_ws ()) in
+        Imk_util.Table.render o.Experiments.table)
+  in
+  check Alcotest.string "fig9 table identical" (render 1) (render 3)
+
 let test_zygote_smoke () =
   let o = Experiments.ablation_zygote ~runs:3 (small_ws ()) in
   check Alcotest.bool "restores faster" true (note_contains o "faster than boots")
@@ -171,6 +265,12 @@ let () =
         [
           Alcotest.test_case "stats" `Quick test_boot_runner_stats;
           Alcotest.test_case "span labels" `Quick test_boot_once_spans;
+          Alcotest.test_case "parallel identical" `Quick
+            test_boot_many_parallel_identical;
+          Alcotest.test_case "empty phase n=0" `Quick
+            test_empty_phase_reports_zero_count;
+          Alcotest.test_case "ms precision" `Quick test_ms_keeps_fractional_ns;
+          Alcotest.test_case "telemetry json" `Quick test_telemetry_json;
         ] );
       ( "experiments",
         [
@@ -180,6 +280,7 @@ let () =
           Alcotest.test_case "security" `Quick test_security_smoke;
           Alcotest.test_case "by_id" `Quick test_by_id_lookup;
           Alcotest.test_case "throughput" `Slow test_throughput_smoke;
+          Alcotest.test_case "fig9 parallel" `Slow test_fig9_parallel_identical;
           Alcotest.test_case "zygote" `Slow test_zygote_smoke;
         ] );
     ]

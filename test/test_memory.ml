@@ -148,6 +148,79 @@ let qcheck_guest_mem_rw =
         Bytes.equal b (Guest_mem.read_bytes m ~pa ~len:(Bytes.length b))
       end)
 
+(* --- arena: recycled guest memory must be indistinguishable from a
+   fresh create --- *)
+
+let test_dirty_extent_tracking () =
+  let m = Guest_mem.create ~size:4096 in
+  check Alcotest.bool "fresh has no extent" true
+    (Guest_mem.dirty_extent m = None);
+  Guest_mem.write_bytes m ~pa:100 (Bytes.of_string "abc");
+  Guest_mem.set_u32 m ~pa:200 0xdeadbeef;
+  (match Guest_mem.dirty_extent m with
+  | Some (lo, hi) ->
+      check int "extent lo" 100 lo;
+      check int "extent hi" 204 hi
+  | None -> Alcotest.fail "expected a dirty extent");
+  Guest_mem.scrub m;
+  check Alcotest.bool "extent reset" true (Guest_mem.dirty_extent m = None);
+  check Alcotest.bool "all zero again" true
+    (Bytes.equal
+       (Guest_mem.read_bytes m ~pa:0 ~len:4096)
+       (Bytes.make 4096 '\000'))
+
+let test_arena_recycles_same_buffer () =
+  let a = Arena.create () in
+  let m1 = Arena.borrow a ~size:8192 in
+  Guest_mem.write_bytes m1 ~pa:1000 (Bytes.make 100 '\xff');
+  Arena.release a m1;
+  check int "pooled after release" 8192 (Arena.pooled_bytes a);
+  let m2 = Arena.borrow a ~size:8192 in
+  check Alcotest.bool "zeroed before reuse" true
+    (Bytes.equal
+       (Guest_mem.read_bytes m2 ~pa:0 ~len:8192)
+       (Bytes.make 8192 '\000'));
+  (* physically the same backing store, recycled rather than reallocated *)
+  check Alcotest.bool "same backing store" true
+    (Guest_mem.raw m2 == Guest_mem.raw m1);
+  let hits, misses = Arena.stats a in
+  check int "one hit" 1 hits;
+  check int "one miss" 1 misses;
+  (* a different size never recycles the wrong buffer *)
+  let m3 = Arena.borrow a ~size:4096 in
+  check int "fresh size" 4096 (Guest_mem.size m3)
+
+let qcheck_arena_recycled_like_fresh =
+  QCheck.Test.make ~count:100
+    ~name:"arena: recycled buffer indistinguishable from fresh create"
+    QCheck.(small_list (pair (int_bound 65535) (int_bound 255)))
+    (fun writes ->
+      let size = 65536 in
+      let a = Arena.create () in
+      let m = Arena.borrow a ~size in
+      List.iteri
+        (fun i (off, v) ->
+          (* mix the mutation paths the boot code uses *)
+          match i mod 3 with
+          | 0 ->
+              let len = min 97 (size - off) in
+              if len > 0 then
+                Guest_mem.write_bytes m ~pa:off (Bytes.make len (Char.chr v))
+          | 1 -> if off + 4 <= size then Guest_mem.set_u32 m ~pa:off v
+          | _ ->
+              let len = min 33 (size - off) in
+              if len > 0 && off + len + len <= size then
+                Guest_mem.copy_within m ~src:off ~dst:(off + len) ~len)
+        writes;
+      Arena.release a m;
+      let r = Arena.borrow a ~size in
+      let fresh = Guest_mem.create ~size in
+      fst (Arena.stats a) = 1
+      && Guest_mem.dirty_extent r = None
+      && Bytes.equal
+           (Guest_mem.read_bytes r ~pa:0 ~len:size)
+           (Guest_mem.read_bytes fresh ~pa:0 ~len:size))
+
 let qcheck_page_table_monotone =
   QCheck.Test.make ~name:"page tables grow with coverage" ~count:100
     QCheck.(pair (int_range 1 2000) (int_range 1 2000))
@@ -180,6 +253,13 @@ let () =
           Alcotest.test_case "copy_within" `Quick test_copy_within_overlap;
           Alcotest.test_case "get_i64 raw" `Quick test_get_i64_raw;
           QCheck_alcotest.to_alcotest qcheck_guest_mem_rw;
+        ] );
+      ( "arena",
+        [
+          Alcotest.test_case "dirty extent" `Quick test_dirty_extent_tracking;
+          Alcotest.test_case "recycles buffer" `Quick
+            test_arena_recycles_same_buffer;
+          QCheck_alcotest.to_alcotest qcheck_arena_recycled_like_fresh;
         ] );
       ( "page_table",
         [
