@@ -16,13 +16,15 @@ let encode t =
   Bytes.blit t.desc 0 out (12 + align4 namesz) descsz;
   out
 
+let malformed msg = raise (Types.Malformed msg)
+
 let decode b =
-  if Bytes.length b < 12 then invalid_arg "Elf.Note.decode: truncated header";
+  if Bytes.length b < 12 then malformed "Elf.Note.decode: truncated header";
   let namesz = Byteio.get_u32 b 0 in
   let descsz = Byteio.get_u32 b 4 in
   let note_type = Byteio.get_u32 b 8 in
   if namesz < 1 || 12 + align4 namesz + align4 descsz > Bytes.length b then
-    invalid_arg "Elf.Note.decode: inconsistent sizes";
+    malformed "Elf.Note.decode: inconsistent sizes";
   let owner = Bytes.sub_string b 12 (namesz - 1) in
   let desc = Bytes.sub b (12 + align4 namesz) descsz in
   { owner; note_type; desc }
@@ -48,9 +50,9 @@ let encode_kaslr c =
 
 let decode_kaslr t =
   if t.owner <> kaslr_owner || t.note_type <> kaslr_note_type then
-    invalid_arg "Elf.Note.decode_kaslr: not a KASLR-constants note";
+    malformed "Elf.Note.decode_kaslr: not a KASLR-constants note";
   if Bytes.length t.desc <> 32 then
-    invalid_arg "Elf.Note.decode_kaslr: bad descriptor size";
+    malformed "Elf.Note.decode_kaslr: bad descriptor size";
   {
     phys_start = Byteio.get_addr t.desc 0;
     phys_align = Byteio.get_addr t.desc 8;

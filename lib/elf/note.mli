@@ -16,7 +16,7 @@ val encode : t -> bytes
     4 bytes, desc padded to 4 bytes. *)
 
 val decode : bytes -> t
-(** Raises [Invalid_argument] on truncation or inconsistent sizes. *)
+(** Raises {!Types.Malformed} on truncation or inconsistent sizes. *)
 
 (** {1 The KASLR-constants note} *)
 
@@ -34,7 +34,7 @@ type kaslr_constants = {
 
 val encode_kaslr : kaslr_constants -> t
 val decode_kaslr : t -> kaslr_constants
-(** Raises [Invalid_argument] if the note is not a KASLR-constants note. *)
+(** Raises {!Types.Malformed} if the note is not a KASLR-constants note. *)
 
 val section_name : string
 (** [".note.kaslr"]. *)

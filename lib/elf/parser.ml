@@ -1,12 +1,22 @@
 open Imk_util
 
-exception Malformed of string
+exception Malformed = Types.Malformed
 
 let fail msg = raise (Malformed msg)
 
+(* [off] and [len] each come from 64-bit file fields and can be as large
+   as [Byteio.get_addr]'s 2^62 - 1 bound, so [off + len] can overflow
+   OCaml's 63-bit int to a negative value and slip past a naive
+   [off + len > length] check; compare against [length - len] instead *)
 let check_bounds b off len what =
-  if off < 0 || len < 0 || off + len > Bytes.length b then
-    fail (what ^ ": out of bounds")
+  if off < 0 || len < 0 || len > Bytes.length b || off > Bytes.length b - len
+  then fail (what ^ ": out of bounds")
+
+(* 64-bit header fields too large for a native int raise
+   [Invalid_argument] inside [Byteio.get_addr]; that is malformed input,
+   not a programming error *)
+let wrap_byteio what f =
+  try f () with Invalid_argument m -> fail (what ^ ": " ^ m)
 
 let is_elf b =
   Bytes.length b >= 4 && Bytes.sub_string b 0 4 = Types.elf_magic
@@ -19,7 +29,7 @@ let check_ident b =
 
 let entry_point b =
   check_ident b;
-  Byteio.get_addr b 24
+  wrap_byteio "ELF header" (fun () -> Byteio.get_addr b 24)
 
 let read_cstr b off =
   let n = Bytes.length b in
@@ -41,6 +51,7 @@ type raw_shdr = {
 
 let parse b =
   check_ident b;
+  wrap_byteio "ELF image" @@ fun () ->
   let entry = Byteio.get_addr b 24 in
   let phoff = Byteio.get_addr b 32 in
   let shoff = Byteio.get_addr b 40 in

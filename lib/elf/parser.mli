@@ -9,7 +9,9 @@
 
 exception Malformed of string
 (** Raised on any structural problem: bad magic, wrong class, truncated
-    tables, out-of-range offsets. *)
+    tables, out-of-range offsets, 64-bit fields too large for a native
+    int. The same exception as {!Types.Malformed}, shared by every
+    [Imk_elf] decoder — existing handlers keep working. *)
 
 val parse : bytes -> Types.t
 (** [parse b] parses a full ELF image. *)

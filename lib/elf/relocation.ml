@@ -1,3 +1,5 @@
+exception Bad_table of string
+
 type kind = Abs64 | Abs32 | Inv32
 
 let kind_name = function
@@ -54,19 +56,24 @@ let encode t =
   Array.iter put t.inv32;
   out
 
+let bad msg = raise (Bad_table ("Relocation.decode: " ^ msg))
+
 let decode b =
-  if Bytes.length b < 16 then invalid_arg "Relocation.decode: truncated header";
-  if Imk_util.Byteio.get_u32 b 0 <> magic then
-    invalid_arg "Relocation.decode: bad magic";
+  if Bytes.length b < 16 then bad "truncated header";
+  if Imk_util.Byteio.get_u32 b 0 <> magic then bad "bad magic";
   let n64 = Imk_util.Byteio.get_u32 b 4 in
   let n32 = Imk_util.Byteio.get_u32 b 8 in
   let ninv = Imk_util.Byteio.get_u32 b 12 in
-  if Bytes.length b < 16 + ((n64 + n32 + ninv) * 8) then
-    invalid_arg "Relocation.decode: truncated entries";
+  if Bytes.length b < 16 + ((n64 + n32 + ninv) * 8) then bad "truncated entries";
   let pos = ref 16 in
   let take n =
     Array.init n (fun _ ->
-        let v = Imk_util.Byteio.get_addr b !pos in
+        let v =
+          (* a site beyond the native-int range is corruption, not a
+             programming error *)
+          try Imk_util.Byteio.get_addr b !pos
+          with Invalid_argument m -> bad m
+        in
         pos := !pos + 8;
         v)
   in

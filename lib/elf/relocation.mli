@@ -14,6 +14,12 @@
     Each entry records the link-time virtual address of the {e site} — the
     location in the kernel image holding the value to patch. *)
 
+exception Bad_table of string
+(** A corrupt relocs file: bad magic, truncated header or entries, a site
+    address outside the native-int range. Typed (rather than
+    [Invalid_argument]) so the boot-failure taxonomy can classify it and
+    a supervisor can fall back to re-deriving the table from the ELF. *)
+
 type kind = Abs64 | Abs32 | Inv32
 
 val kind_name : kind -> string
@@ -47,7 +53,7 @@ val encode : table -> bytes
     counts, then the site arrays as 64-bit little-endian values. *)
 
 val decode : bytes -> table
-(** [decode b] parses {!encode}'s output. Raises [Invalid_argument] on bad
+(** [decode b] parses {!encode}'s output. Raises {!Bad_table} on bad
     magic or truncation (a corrupt relocs file must fail loudly — silently
     mis-relocating a kernel is the worst possible outcome). *)
 

@@ -1,3 +1,5 @@
+exception Malformed of string
+
 let elf_magic = "\x7fELF"
 let elfclass64 = 2
 let elfdata2lsb = 1

@@ -7,6 +7,14 @@
     ELF64 specification (only the subset exercised by kernel images is
     modelled). *)
 
+exception Malformed of string
+(** The one typed error for structurally bad ELF input, shared by every
+    [Imk_elf] decoder ({!Parser}, {!Note}): bad magic, wrong class,
+    truncated tables, out-of-range offsets, inconsistent note sizes. A
+    malformed image must never surface as a raw [Invalid_argument] — the
+    boot-failure taxonomy ([Imk_fault.Failure]) classifies this
+    exception, and unclassified escapes are a bug. *)
+
 (** {1 Constants} *)
 
 val elf_magic : string

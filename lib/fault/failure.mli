@@ -1,0 +1,62 @@
+(** Typed failure taxonomy for supervised boots.
+
+    Every exception a boot path can raise on corrupted input maps onto
+    one of five kinds. The mapping is the contract the fault-injection
+    campaign enforces: an injected corruption must surface as one of
+    these (or as a guest-side {!Imk_guest.Runtime.Panic} from the
+    integrity walk) — a boot that stays green over corrupted bytes is a
+    soundness bug, and an exception {!classify} cannot place is an
+    unclassified escape, which is equally a bug. *)
+
+type t =
+  | Corrupt_image of string
+      (** A kernel image (ELF or bzImage) failed structural validation:
+          bad magic, truncated tables, out-of-range offsets. *)
+  | Bad_reloc of string
+      (** The relocation table is unusable: bad magic, truncated
+          entries, or an extraction path that cannot serve the image. *)
+  | Decode_error of string
+      (** A framed payload failed its own integrity check: codec CRC,
+          snapshot CRC, rootfs/initrd archive corruption. *)
+  | Transient of string
+      (** A fault the monitor believes is not persistent (injected VMM
+          init hiccup); retrying is sensible. *)
+  | Guest_panic of string
+      (** The guest itself detected the problem: a missed relocation in
+          the integrity walk or a memory-fault during boot. *)
+
+val kind_name : t -> string
+(** Stable short tag ("corrupt-image", "bad-reloc", "decode-error",
+    "transient", "guest-panic") — used as telemetry column values and in
+    [BENCH_faults.json]. *)
+
+val message : t -> string
+(** The underlying exception's message. *)
+
+val describe : t -> string
+(** ["kind: message"]. *)
+
+val classify : exn -> t option
+(** [classify e] maps a boot-path exception onto the taxonomy, or [None]
+    for exceptions that are not typed boot failures (programming errors
+    like [Invalid_argument] — the supervisor re-raises those rather than
+    masking them). *)
+
+(** Recovery actions a {!Imk_harness.Boot_supervisor} took, in order.
+    Each is recorded in the supervision report; retry/backoff and
+    re-derivation work is separately charged to the virtual clock. *)
+type event =
+  | Retried of { attempt : int; failure : t; backoff_ns : int }
+      (** A transient failure was retried after paying [backoff_ns]. *)
+  | Fell_back_to_cold_boot of t
+      (** Snapshot restore failed its validation; a cold boot was run
+          instead. *)
+  | Rederived_relocs of t
+      (** The relocation table was corrupt; a fresh one was re-derived
+          from the kernel ELF. *)
+
+val event_name : event -> string
+(** Stable short tag ("retried", "cold-boot-fallback",
+    "rederived-relocs"). *)
+
+val describe_event : event -> string

@@ -1,0 +1,179 @@
+(* Deterministic fault injection at the boot path's input seams.
+
+   Every corruption here is chosen to be *structurally guaranteed*
+   detectable by an existing validator — that is the property the faults
+   campaign enforces, so the injector must not produce corruptions that
+   can legally decode to something valid:
+
+   - ELF tail truncation always cuts the section-header table (the
+     writer emits it last), failing the parser's bounds check.
+   - Image-magic flips break both the ELF ident and the bzImage magic,
+     so whichever decoder the monitor routes to fails typed.
+   - Function-magic flips touch only bits 0..47 of the 8-byte word:
+     flipping bit 62/63 would push the stored value outside the
+     native-int range and surface as an untyped [Invalid_argument] from
+     [Byteio.get_addr] instead of a classified failure.
+   - Relocation-table faults hit the magic field or truncate entries —
+     never the count fields, whose corruption is not guaranteed
+     detectable (a zero KASLR delta would relocate nothing and boot
+     green over a short table).
+   - bzImage payload faults flip the codec frame's stored CRC, which
+     every codec (including store) verifies after decompression. *)
+
+type kind =
+  | Truncate_image
+  | Flip_image_magic
+  | Flip_entry_magic
+  | Truncate_relocs
+  | Flip_relocs_magic
+  | Truncate_bzimage
+  | Flip_bz_payload_crc
+  | Read_fault_entry_magic
+  | Transient_init of int
+
+let name = function
+  | Truncate_image -> "truncate-image"
+  | Flip_image_magic -> "flip-image-magic"
+  | Flip_entry_magic -> "flip-entry-magic"
+  | Truncate_relocs -> "truncate-relocs"
+  | Flip_relocs_magic -> "flip-relocs-magic"
+  | Truncate_bzimage -> "truncate-bzimage"
+  | Flip_bz_payload_crc -> "flip-bz-payload-crc"
+  | Read_fault_entry_magic -> "read-fault-entry-magic"
+  | Transient_init n -> Printf.sprintf "transient-init-%d" n
+
+let all =
+  [
+    Truncate_image;
+    Flip_image_magic;
+    Flip_entry_magic;
+    Truncate_relocs;
+    Flip_relocs_magic;
+    Truncate_bzimage;
+    Flip_bz_payload_crc;
+    Read_fault_entry_magic;
+    Transient_init 1;
+  ]
+
+let flip_bit b ~off ~bit =
+  let byte = off + (bit / 8) in
+  Bytes.set b byte
+    (Char.chr (Char.code (Bytes.get b byte) lxor (1 lsl (bit mod 8))))
+
+let flip_one_bit ~seed b =
+  let b = Bytes.copy b in
+  if Bytes.length b = 0 then invalid_arg "Inject.flip_one_bit: empty";
+  flip_bit b ~off:0 ~bit:(abs seed mod (Bytes.length b * 8));
+  b
+
+(* file offset of the entry function's 8-byte magic word: the section
+   that covers e_entry, at the entry's displacement into it *)
+let entry_magic_offset b =
+  let elf = Imk_elf.Parser.parse b in
+  let entry = elf.Imk_elf.Types.entry in
+  let sec =
+    Array.to_list elf.Imk_elf.Types.sections
+    |> List.find_opt (fun (s : Imk_elf.Types.section) ->
+           s.Imk_elf.Types.sh_type = Imk_elf.Types.sht_progbits
+           && s.Imk_elf.Types.size > 0
+           && s.Imk_elf.Types.addr <= entry
+           && entry < s.Imk_elf.Types.addr + s.Imk_elf.Types.size)
+  in
+  match sec with
+  | Some s -> s.Imk_elf.Types.offset + (entry - s.Imk_elf.Types.addr)
+  | None -> invalid_arg "Inject: entry point outside every progbits section"
+
+type armed = { inject : (string -> unit) option }
+
+let no_hook = { inject = None }
+
+let arm kind ~seed ~disk ~kernel_path ?relocs_path () =
+  let seed = abs seed in
+  (* [Disk.find] applies armed read faults, but nothing is armed yet on
+     a per-run disk, and content corruption always copies first *)
+  let pristine path = Bytes.copy (Imk_storage.Disk.find disk path) in
+  let replace path b = Imk_storage.Disk.add disk ~name:path b in
+  let truncate path ~drop =
+    let b = pristine path in
+    if Bytes.length b <= drop then
+      invalid_arg ("Inject.arm: " ^ path ^ " too small to truncate");
+    replace path (Bytes.sub b 0 (Bytes.length b - drop))
+  in
+  let relocs () =
+    match relocs_path with
+    | Some p -> p
+    | None -> invalid_arg ("Inject.arm: " ^ name kind ^ " needs ~relocs_path")
+  in
+  (* the bz kinds read header fields; arming them on a non-bzImage would
+     corrupt an arbitrary offset — not guaranteed detectable, so refuse *)
+  let require_bzimage b =
+    if Bytes.length b < 32 || Imk_util.Byteio.get_u32 b 0 <> 0x425a494d then
+      invalid_arg
+        ("Inject.arm: " ^ name kind ^ " needs a bzImage at " ^ kernel_path)
+  in
+  match kind with
+  | Truncate_image ->
+      (* the writer puts the section-header table last: any tail cut
+         lands in it *)
+      truncate kernel_path ~drop:(1 + (seed mod 64));
+      no_hook
+  | Flip_image_magic ->
+      let b = pristine kernel_path in
+      flip_bit b ~off:0 ~bit:(seed mod 32);
+      replace kernel_path b;
+      no_hook
+  | Flip_entry_magic ->
+      let b = pristine kernel_path in
+      let off = entry_magic_offset b in
+      flip_bit b ~off ~bit:(seed mod 48);
+      replace kernel_path b;
+      no_hook
+  | Truncate_relocs ->
+      (* a table is exactly [16 + 8n] bytes; dropping 1..8 always fails
+         the entry-count bound *)
+      truncate (relocs ()) ~drop:(1 + (seed mod 8));
+      no_hook
+  | Flip_relocs_magic ->
+      let p = relocs () in
+      let b = pristine p in
+      flip_bit b ~off:0 ~bit:(seed mod 32);
+      replace p b;
+      no_hook
+  | Truncate_bzimage ->
+      (* the payload is the file's tail; any cut makes it escape the
+         image *)
+      require_bzimage (Imk_storage.Disk.find disk kernel_path);
+      truncate kernel_path ~drop:(1 + (seed mod 1024));
+      no_hook
+  | Flip_bz_payload_crc ->
+      let b = pristine kernel_path in
+      require_bzimage b;
+      let payload_off = Imk_util.Byteio.get_u32 b 24 in
+      if payload_off + 20 > Bytes.length b then
+        invalid_arg "Inject.arm: bzImage payload escapes the image";
+      (* codec frame: magic, name hash, orig_len, then the CRC at +16 *)
+      flip_bit b ~off:(payload_off + 16) ~bit:(seed mod 32);
+      replace kernel_path b;
+      no_hook
+  | Read_fault_entry_magic ->
+      (* content on disk stays pristine; the read path corrupts — the
+         snapshot/disk read-corruption model. [Disk.find] hands the
+         fault a private copy, so the fault function stays pure. *)
+      let off = entry_magic_offset (pristine kernel_path) in
+      let bit = seed mod 48 in
+      Imk_storage.Disk.set_fault disk ~name:kernel_path (fun copy ->
+          flip_bit copy ~off ~bit;
+          copy);
+      no_hook
+  | Transient_init n ->
+      let remaining = ref n in
+      {
+        inject =
+          Some
+            (fun phase ->
+              if phase = "vmm-init" && !remaining > 0 then begin
+                decr remaining;
+                raise
+                  (Imk_monitor.Vmm.Transient "injected VMM init failure")
+              end);
+      }

@@ -12,7 +12,7 @@ let ms s = Imk_util.Units.ns_float_to_ms s.Imk_util.Stats.mean
 
 let default_jobs = ref 1
 
-let boot_once ?(jitter = true) ?arena ~seed ~cache vm =
+let boot_once ?(jitter = true) ?arena ?mem ~seed ~cache vm =
   let clock = Clock.create () in
   let trace = Trace.create clock in
   let jitter_rng =
@@ -21,7 +21,8 @@ let boot_once ?(jitter = true) ?arena ~seed ~cache vm =
   in
   let ch = Charge.create ?jitter:jitter_rng trace Cost_model.default in
   let result =
-    Imk_monitor.Vmm.boot ?arena ch cache { vm with Imk_monitor.Vm_config.seed }
+    Imk_monitor.Vmm.boot ?arena ?mem ch cache
+      { vm with Imk_monitor.Vm_config.seed }
   in
   (trace, result)
 
@@ -36,20 +37,25 @@ let boot_many ?(warmups = 5) ?(cold = false) ?jobs ?arena ~runs ~cache ~make_vm
      hands the guest memory back to the arena *)
   let boot ~seed ~cache =
     if cold then Imk_storage.Page_cache.drop_caches cache;
-    let trace, result = boot_once ?arena ~seed ~cache (make_vm ~seed) in
-    (* a phase the boot never entered (direct boots have no
-       decompression) reports 0 ns; drop it so its summary says n = 0
-       instead of averaging fabricated zero samples *)
-    let breakdown =
-      List.filter_map
-        (fun (p, ns) -> if ns = 0 then None else Some (p, float_of_int ns))
-        (Trace.breakdown trace)
+    let vm = make_vm ~seed in
+    let record (trace, _result) =
+      (* a phase the boot never entered (direct boots have no
+         decompression) reports 0 ns; drop it so its summary says n = 0
+         instead of averaging fabricated zero samples *)
+      let breakdown =
+        List.filter_map
+          (fun (p, ns) -> if ns = 0 then None else Some (p, float_of_int ns))
+          (Trace.breakdown trace)
+      in
+      (breakdown, float_of_int (Trace.total trace))
     in
-    let total = float_of_int (Trace.total trace) in
-    (match arena with
-    | None -> ()
-    | Some a -> Imk_memory.Arena.release a result.Imk_monitor.Vmm.mem);
-    (breakdown, total)
+    match arena with
+    | None -> record (boot_once ~seed ~cache vm)
+    | Some a ->
+        (* bracketed borrow: a boot that raises (fault-injection runs)
+           still hands its buffer back to the pool *)
+        Imk_memory.Arena.with_buffer a ~size:vm.Imk_monitor.Vm_config.mem_bytes
+          (fun mem -> record (boot_once ~mem ~seed ~cache vm))
   in
   (* recorded boots in run order (index i = run i+1, seed run_seed (i+1)) *)
   let recorded =

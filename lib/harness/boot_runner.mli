@@ -47,9 +47,19 @@ val boot_many :
     Phases that never ran report [Imk_util.Stats.empty] (n = 0) rather
     than a fabricated zero sample. *)
 
+val warm_seed : int -> int64
+(** Seed of warmup boot [i] (1-based) — a pure function of the index,
+    one leg of the [jobs]-invariance contract. *)
+
+val run_seed : int -> int64
+(** Seed of recorded run [i] (1-based). Shared with
+    [Boot_supervisor.supervise_many] so supervised and plain campaigns
+    agree on per-run seeds. *)
+
 val boot_once :
   ?jitter:bool ->
   ?arena:Imk_memory.Arena.t ->
+  ?mem:Imk_memory.Guest_mem.t ->
   seed:int64 ->
   cache:Imk_storage.Page_cache.t ->
   Imk_monitor.Vm_config.t ->
@@ -58,7 +68,9 @@ val boot_once :
     analyses like Figure 5) and the result (for layout-dependent
     analyses like LEBench and the attack simulation). With [arena] the
     guest memory is borrowed from the pool; the caller releases it when
-    done with the result. *)
+    done with the result. With [mem] (a caller-owned buffer, typically
+    inside an [Imk_memory.Arena.with_buffer] bracket) the boot runs in
+    place and the caller keeps ownership either way. *)
 
 val spans_by_label : Imk_vclock.Trace.t -> (string * int) list
 (** Aggregate span durations by label, for breakdowns finer than the

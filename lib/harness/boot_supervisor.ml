@@ -1,0 +1,168 @@
+open Imk_vclock
+module Failure = Imk_fault.Failure
+
+type ctx = {
+  cache : Imk_storage.Page_cache.t;
+  inject : (string -> unit) option;
+}
+
+let plain_ctx cache = { cache; inject = None }
+
+type report = {
+  outcome : (Imk_guest.Runtime.verify_stats, Failure.t) result;
+  attempts : int;
+  events : Failure.event list;
+  total_ns : int;
+}
+
+let default_max_retries = 3
+
+let backoff_base_ns = 200_000
+(* first retry waits ~0.2 ms of virtual time, doubling per retry — small
+   against a multi-ms boot but visible in the trace *)
+
+let make_charge ~jitter ~seed =
+  let clock = Clock.create () in
+  let trace = Trace.create clock in
+  let jitter_rng =
+    if jitter then Some (Imk_entropy.Prng.create ~seed:(Int64.add seed 7919L))
+    else None
+  in
+  (trace, Charge.create ?jitter:jitter_rng trace Cost_model.default)
+
+let modeled (vm : Imk_monitor.Vm_config.t) n =
+  Imk_kernel.Config.modeled_of_actual vm.Imk_monitor.Vm_config.kernel_config n
+
+(* Replace a corrupt relocation table with one re-derived from the
+   kernel ELF (Figure 8's extraction path — proven to boot verify-green
+   by test_boot_paths). Real work, charged in its own span: read the
+   image, parse it, walk every function for relocation sites. *)
+let rederive_relocs ch ctx (vm : Imk_monitor.Vm_config.t) path =
+  Charge.span ch Trace.In_monitor "rederive-relocs" (fun () ->
+      let cm = Charge.model ch in
+      let kernel, cached =
+        Imk_storage.Page_cache.read ctx.cache vm.Imk_monitor.Vm_config.kernel_path
+      in
+      Charge.pay ch
+        (Cost_model.read_cost cm ~cached (modeled vm (Bytes.length kernel)));
+      let elf = Imk_elf.Parser.parse kernel in
+      Charge.pay ch
+        (Cost_model.elf_parse_cost cm
+           ~sections:(modeled vm (Array.length elf.Imk_elf.Types.sections)));
+      let table = Imk_kernel.Relocs_tool.extract kernel in
+      Charge.pay ch
+        (Cost_model.reloc_cost cm ~in_guest:false
+           ~entries:(modeled vm (Imk_elf.Relocation.entry_count table)));
+      Imk_storage.Disk.add
+        (Imk_storage.Page_cache.disk ctx.cache)
+        ~name:path
+        (Imk_elf.Relocation.encode table))
+
+let supervise_on ch ?arena ~max_retries ~ctx (vm : Imk_monitor.Vm_config.t) =
+  let events = ref [] in
+  let push e = events := e :: !events in
+  let attempts = ref 0 in
+  let boot_attempt () =
+    incr attempts;
+    match arena with
+    | None ->
+        (Imk_monitor.Vmm.boot ?inject:ctx.inject ch ctx.cache vm)
+          .Imk_monitor.Vmm.stats
+    | Some a ->
+        Imk_memory.Arena.with_buffer a ~size:vm.Imk_monitor.Vm_config.mem_bytes
+          (fun mem ->
+            (Imk_monitor.Vmm.boot ?inject:ctx.inject ~mem ch ctx.cache vm)
+              .Imk_monitor.Vmm.stats)
+  in
+  let rederived = ref false in
+  let rec go retries_left =
+    match boot_attempt () with
+    | stats -> Ok stats
+    | exception e -> (
+        match Failure.classify e with
+        | None -> raise e (* programming error, not a boot failure *)
+        | Some f -> recover f retries_left)
+  and recover f retries_left =
+    match f with
+    | Failure.Transient _ when retries_left > 0 ->
+        let backoff = backoff_base_ns * (1 lsl (max_retries - retries_left)) in
+        Charge.pay_span ch Trace.In_monitor "retry-backoff" backoff;
+        push (Failure.Retried { attempt = !attempts; failure = f; backoff_ns = backoff });
+        go (retries_left - 1)
+    | Failure.Bad_reloc _
+      when (not !rederived) && vm.Imk_monitor.Vm_config.relocs_path <> None -> (
+        rederived := true;
+        match
+          rederive_relocs ch ctx vm
+            (Option.get vm.Imk_monitor.Vm_config.relocs_path)
+        with
+        | () ->
+            push (Failure.Rederived_relocs f);
+            go retries_left
+        | exception e2 -> (
+            (* the kernel image is corrupt too: report that, typed *)
+            match Failure.classify e2 with
+            | Some f2 -> Error f2
+            | None -> raise e2))
+    | _ -> Error f
+  in
+  let outcome = go max_retries in
+  (outcome, !attempts, List.rev !events)
+
+let supervise ?(jitter = true) ?arena ?(max_retries = default_max_retries)
+    ~seed ~ctx vm =
+  let trace, ch = make_charge ~jitter ~seed in
+  let vm = { vm with Imk_monitor.Vm_config.seed } in
+  let outcome, attempts, events = supervise_on ch ?arena ~max_retries ~ctx vm in
+  { outcome; attempts; events; total_ns = Trace.total trace }
+
+let supervise_snapshot ?(jitter = true) ?arena
+    ?(max_retries = default_max_retries) ~seed ~ctx ~snapshot_path
+    ~working_set_pages vm =
+  let trace, ch = make_charge ~jitter ~seed in
+  let vm = { vm with Imk_monitor.Vm_config.seed } in
+  match
+    let snap =
+      Charge.span ch Trace.In_monitor "snapshot-load" (fun () ->
+          let blob, cached =
+            Imk_storage.Page_cache.read ctx.cache snapshot_path
+          in
+          Charge.pay ch
+            (Cost_model.read_cost (Charge.model ch) ~cached
+               (modeled vm (Bytes.length blob)));
+          Imk_monitor.Snapshot.load ~config:vm blob)
+    in
+    Imk_monitor.Snapshot.restore ch snap ~working_set_pages
+  with
+  | r ->
+      {
+        outcome = Ok r.Imk_monitor.Vmm.stats;
+        attempts = 1;
+        events = [];
+        total_ns = Trace.total trace;
+      }
+  | exception e -> (
+      match Failure.classify e with
+      | None -> raise e
+      | Some f ->
+          (* persistent restore failure: degrade to a supervised cold
+             boot on the same virtual clock, so the fallback's full cost
+             lands in one report *)
+          let outcome, attempts, events =
+            supervise_on ch ?arena ~max_retries ~ctx vm
+          in
+          {
+            outcome;
+            attempts = attempts + 1;
+            events = Failure.Fell_back_to_cold_boot f :: events;
+            total_ns = Trace.total trace;
+          })
+
+let supervise_many ?(jitter = true) ?jobs ?max_retries ~runs ~ctx_for ~make_vm
+    () =
+  let jobs = max 1 (Option.value ~default:!Boot_runner.default_jobs jobs) in
+  Imk_util.Par.map_tasks ~jobs ~tasks:runs (fun ~worker:_ i ->
+      let run = i + 1 in
+      let seed = Boot_runner.run_seed run in
+      let ctx = ctx_for ~run in
+      supervise ~jitter ?max_retries ~seed ~ctx (make_vm ~seed))

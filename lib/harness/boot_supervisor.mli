@@ -1,0 +1,90 @@
+(** Supervised boots: classify failures, retry transients, degrade
+    gracefully — all on the virtual clock.
+
+    A supervisor wraps one boot attempt the way a production launcher
+    wraps Firecracker: every exception the boot path can raise on bad
+    input is classified into the {!Imk_fault.Failure} taxonomy (an
+    unclassifiable exception is re-raised — it is a programming error
+    and must not be absorbed), transients are retried with bounded
+    exponential backoff, and two persistent-fault degradations are
+    built in:
+
+    - a corrupt relocation table is re-derived from the kernel ELF
+      (the Figure 8 extraction path) and the boot retried;
+    - a corrupt snapshot falls back to a supervised cold boot.
+
+    None of the recovery work is free: backoff, re-derivation and the
+    fallback boot are charged to the same virtual clock as the boot
+    itself, each in its own labelled span, so the faults experiment can
+    report what recovery costs. *)
+
+type ctx = {
+  cache : Imk_storage.Page_cache.t;  (** the run's (private) page cache *)
+  inject : (string -> unit) option;
+      (** armed transient hook ({!Imk_fault.Inject.armed}), if any *)
+}
+
+val plain_ctx : Imk_storage.Page_cache.t -> ctx
+(** A context with no fault hook. *)
+
+type report = {
+  outcome : (Imk_guest.Runtime.verify_stats, Imk_fault.Failure.t) result;
+      (** verify-green stats, or the typed failure the boot ended on *)
+  attempts : int;  (** boot attempts made (snapshot restore counts) *)
+  events : Imk_fault.Failure.event list;
+      (** recovery actions, in occurrence order *)
+  total_ns : int;  (** virtual time spent, recovery included *)
+}
+
+val default_max_retries : int
+
+val backoff_base_ns : int
+(** First retry's backoff; each further retry doubles it. *)
+
+val supervise :
+  ?jitter:bool ->
+  ?arena:Imk_memory.Arena.t ->
+  ?max_retries:int ->
+  seed:int64 ->
+  ctx:ctx ->
+  Imk_monitor.Vm_config.t ->
+  report
+(** [supervise ~seed ~ctx vm] runs one supervised boot on a fresh
+    virtual clock ([seed] fixes the config seed and the jitter stream,
+    exactly like [Boot_runner.boot_once]). With [?arena], every attempt
+    runs inside an {!Imk_memory.Arena.with_buffer} bracket, so failed
+    attempts hand their guest memory straight back to the pool. *)
+
+val supervise_snapshot :
+  ?jitter:bool ->
+  ?arena:Imk_memory.Arena.t ->
+  ?max_retries:int ->
+  seed:int64 ->
+  ctx:ctx ->
+  snapshot_path:string ->
+  working_set_pages:int ->
+  Imk_monitor.Vm_config.t ->
+  report
+(** [supervise_snapshot ~seed ~ctx ~snapshot_path ~working_set_pages vm]
+    restores from a serialized snapshot on the run's disk. A typed
+    restore failure (CRC mismatch, truncation) is recorded as a
+    [Fell_back_to_cold_boot] event and the supervisor boots [vm] cold on
+    the same clock — the report's [total_ns] is the price of the failed
+    restore plus the fallback. *)
+
+val supervise_many :
+  ?jitter:bool ->
+  ?jobs:int ->
+  ?max_retries:int ->
+  runs:int ->
+  ctx_for:(run:int -> ctx) ->
+  make_vm:(seed:int64 -> Imk_monitor.Vm_config.t) ->
+  unit ->
+  report array
+(** [supervise_many ~runs ~ctx_for ~make_vm ()] fans [runs] supervised
+    boots over [?jobs] domains (default [Boot_runner.default_jobs]).
+    Run [i] (1-based) uses seed [Boot_runner.run_seed i] and a context
+    built by [ctx_for ~run:i] {e inside the worker} — [ctx_for] must
+    build run-private state (its own disk, cache and armed faults),
+    which is what makes the result array bit-identical for any [jobs]
+    value. *)

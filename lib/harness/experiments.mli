@@ -47,6 +47,15 @@ val throughput : ?runs:int -> Workspace.t -> output
 val security : Workspace.t -> output
 (** Entropy accounting + the leak-and-locate attack. *)
 
+val faults : ?runs:int -> Workspace.t -> output
+(** Deterministic fault-injection campaign: fault kinds x boot paths x
+    seeds under {!Boot_supervisor} supervision. Reports, per cell, how
+    many runs were detected (typed failure), recovered (verify-green
+    with a recorded recovery event) or — soundness violation — silently
+    green; the "silent" column must be all zeros. Bit-identical for any
+    [--jobs] value: every run gets a private disk, cache and armed
+    fault, all pure functions of the run index. *)
+
 val ablation_kallsyms : ?runs:int -> Workspace.t -> output
 (** Eager vs deferred kallsyms fixup (§4.3: eager ≈ 22% of boot). *)
 

@@ -75,6 +75,18 @@ let release t mem =
   (* otherwise drop it on the floor for the GC — the pool is full *)
   Mutex.unlock t.lock
 
+let with_buffer t ~size f =
+  let mem = borrow t ~size in
+  match f mem with
+  | v ->
+      release t mem;
+      v
+  | exception e ->
+      (* the bracket's whole point: a boot that dies mid-run must neither
+         leak its buffer nor return it unscrubbed — release scrubs *)
+      release t mem;
+      raise e
+
 let pooled_bytes t =
   Mutex.lock t.lock;
   let n = t.pooled_bytes in

@@ -40,6 +40,14 @@ val release : t -> Guest_mem.t -> unit
     to them went through the [Guest_mem] API ([Guest_mem.raw] marks the
     whole guest dirty, so even that is safe — just slow to scrub). *)
 
+val with_buffer : t -> size:int -> (Guest_mem.t -> 'a) -> 'a
+(** [with_buffer t ~size f] brackets {!borrow} and {!release}: [f] runs
+    with a fresh-equivalent buffer, and the buffer is scrubbed and
+    returned to the pool whether [f] returns or raises. This is the
+    exception-safe way to run a boot against the arena — a fault-injected
+    boot that dies mid-run must not leak its buffer or poison the pool
+    with a dirty one. [f] must not retain the buffer past its return. *)
+
 val pooled_bytes : t -> int
 (** Total bytes currently held in free lists. *)
 

@@ -16,6 +16,97 @@ let capture (r : Vmm.boot_result) =
 
 let encoded_bytes t = Bytes.length t.memory
 
+(* --- on-disk format: header + params + memory image + CRC32 trailer ---
+
+   Byte-exact serialization so snapshots can live on the simulated disk
+   (zygote pools, cross-host migration). The trailing CRC32 covers
+   everything before it: any bit flip or truncation fails [load] with the
+   typed [Corrupt] instead of restoring garbage into a guest. *)
+
+exception Corrupt of string
+
+let snap_magic = 0x494d4b53 (* "IMKS" *)
+let snap_version = 1
+let header_bytes = 112
+
+let serialize t =
+  let module B = Imk_util.Byteio in
+  let p = t.params in
+  let k = p.Imk_guest.Boot_params.kernel in
+  let mem_len = Bytes.length t.memory in
+  let out = Bytes.make (header_bytes + mem_len + 4) '\000' in
+  B.set_u32 out 0 snap_magic;
+  B.set_u32 out 4 snap_version;
+  B.set_addr out 8 p.Imk_guest.Boot_params.phys_load;
+  B.set_addr out 16 p.Imk_guest.Boot_params.virt_base;
+  B.set_addr out 24 p.Imk_guest.Boot_params.entry_va;
+  B.set_addr out 32 p.Imk_guest.Boot_params.mem_bytes;
+  B.set_addr out 40 k.Imk_guest.Boot_params.link_entry_va;
+  B.set_addr out 48 k.Imk_guest.Boot_params.link_rodata_va;
+  B.set_addr out 56 k.Imk_guest.Boot_params.link_kallsyms_va;
+  B.set_addr out 64 k.Imk_guest.Boot_params.link_extab_va;
+  B.set_addr out 72
+    (match k.Imk_guest.Boot_params.link_orc_va with None -> 0 | Some v -> v);
+  B.set_u32 out 80 k.Imk_guest.Boot_params.n_functions;
+  B.set_u32 out 84 k.Imk_guest.Boot_params.modeled_functions;
+  let flags =
+    (if p.Imk_guest.Boot_params.kallsyms_fixed then 1 else 0)
+    lor (if p.Imk_guest.Boot_params.orc_fixed then 2 else 0)
+    lor (match k.Imk_guest.Boot_params.link_orc_va with
+        | Some _ -> 4
+        | None -> 0)
+    lor
+    match p.Imk_guest.Boot_params.setup_data_pa with Some _ -> 8 | None -> 0
+  in
+  B.set_u32 out 88 flags;
+  B.set_addr out 92
+    (match p.Imk_guest.Boot_params.setup_data_pa with None -> 0 | Some v -> v);
+  B.set_addr out 100 mem_len;
+  Bytes.blit t.memory 0 out header_bytes mem_len;
+  B.set_u32 out (header_bytes + mem_len)
+    (Imk_util.Crc.crc32 out 0 (header_bytes + mem_len));
+  out
+
+let load ~config b =
+  let module B = Imk_util.Byteio in
+  let corrupt msg = raise (Corrupt ("Snapshot.load: " ^ msg)) in
+  let len = Bytes.length b in
+  if len < header_bytes + 4 then corrupt "truncated header";
+  if B.get_u32 b 0 <> snap_magic then corrupt "bad magic";
+  if B.get_u32 b 4 <> snap_version then corrupt "unsupported version";
+  if B.get_u32 b (len - 4) <> Imk_util.Crc.crc32 b 0 (len - 4) then
+    corrupt "CRC mismatch";
+  let addr off =
+    try B.get_addr b off with Invalid_argument m -> corrupt m
+  in
+  let mem_len = addr 100 in
+  if header_bytes + mem_len + 4 <> len then corrupt "memory length mismatch";
+  let flags = B.get_u32 b 88 in
+  let kernel =
+    {
+      Imk_guest.Boot_params.link_entry_va = addr 40;
+      link_rodata_va = addr 48;
+      link_kallsyms_va = addr 56;
+      link_extab_va = addr 64;
+      link_orc_va = (if flags land 4 <> 0 then Some (addr 72) else None);
+      n_functions = B.get_u32 b 80;
+      modeled_functions = B.get_u32 b 84;
+    }
+  in
+  let params =
+    {
+      Imk_guest.Boot_params.phys_load = addr 8;
+      virt_base = addr 16;
+      entry_va = addr 24;
+      mem_bytes = addr 32;
+      kernel;
+      kallsyms_fixed = flags land 1 <> 0;
+      orc_fixed = flags land 2 <> 0;
+      setup_data_pa = (if flags land 8 <> 0 then Some (addr 92) else None);
+    }
+  in
+  { memory = Bytes.sub b header_bytes mem_len; params; config }
+
 let layout_seed_of t =
   let text_pa = t.params.Imk_guest.Boot_params.phys_load in
   let probe = min (256 * 1024) (Bytes.length t.memory - text_pa) in

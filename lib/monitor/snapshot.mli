@@ -15,6 +15,12 @@
 
 type t
 
+exception Corrupt of string
+(** A serialized snapshot failed validation in {!load}: bad magic or
+    version, truncation, or a CRC32 mismatch anywhere in the blob. Typed
+    so a supervisor can fall back to a cold boot instead of restoring
+    garbage into a guest. *)
+
 val capture : Vmm.boot_result -> t
 (** [capture result] snapshots a booted guest: full memory image plus the
     boot parameters. The source VM remains usable. *)
@@ -27,6 +33,18 @@ val layout_seed_of : t -> int
 (** A fingerprint of the captured layout (virtual base ⊕ a hash of the
     text pages) — distinct snapshots in a Morula-style pool must differ
     on it. *)
+
+val serialize : t -> bytes
+(** [serialize t] is the byte-exact on-disk form: a fixed header, the
+    boot parameters, the memory image, and a CRC32 trailer over
+    everything before it. [load ~config (serialize t)] round-trips. *)
+
+val load : config:Vm_config.t -> bytes -> t
+(** [load ~config b] validates and decodes {!serialize}'s output,
+    rehydrating against the supplied VM config (configs are host-side
+    objects, not serialized state). Raises {!Corrupt} on bad magic or
+    version, truncation, length inconsistencies, or a CRC32 mismatch —
+    a single flipped bit anywhere in [b] is caught. *)
 
 val restore :
   Imk_vclock.Charge.t -> t -> working_set_pages:int -> Vmm.boot_result

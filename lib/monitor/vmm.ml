@@ -2,6 +2,7 @@ open Imk_memory
 open Imk_vclock
 
 exception Boot_error of string
+exception Transient of string
 
 let fail fmt = Printf.ksprintf (fun s -> raise (Boot_error s)) fmt
 
@@ -105,7 +106,7 @@ let check_kaslr_note (elf : Imk_elf.Types.t) =
   | None -> ()
   | Some s -> (
       match Imk_elf.Note.decode_kaslr (Imk_elf.Note.decode s.data) with
-      | exception Invalid_argument m -> fail "kernel constants note: %s" m
+      | exception Imk_elf.Types.Malformed m -> fail "kernel constants note: %s" m
       | c ->
           if
             c.Imk_elf.Note.kmap_base <> Addr.kmap_base
@@ -146,8 +147,10 @@ let direct_boot ch cache (config : Vm_config.t) kernel_bytes mem ~phys_limit =
                argument (vmlinux.relocs)"
         | Some path -> (
             let bytes = read_image ch cache config path ~what:"relocs" in
+            (* a corrupt table propagates as the typed
+               [Imk_elf.Relocation.Bad_table] so a supervisor can fall
+               back to re-deriving the relocs from the ELF *)
             match Imk_elf.Relocation.decode bytes with
-            | exception Invalid_argument m -> fail "relocs file: %s" m
             | t when Imk_elf.Relocation.entry_count t = 0 ->
                 fail "relocs file %s is empty — kernel built without \
                       CONFIG_RELOCATABLE?" path
@@ -322,16 +325,11 @@ let run_loader ch (config : Vm_config.t) bz mem =
       ~config:config.kernel_config ~rando ~policy ~rng:guest_rng
   with Imk_bootstrap.Loader.Loader_error m -> fail "bootstrap loader: %s" m
 
-let boot ?arena ch cache (config : Vm_config.t) =
-  if config.mem_bytes < 32 * 1024 * 1024 then
-    fail "guest memory too small (%d bytes)" config.mem_bytes;
-  let mem =
-    match arena with
-    | None -> Guest_mem.create ~size:config.mem_bytes
-    | Some a -> Arena.borrow a ~size:config.mem_bytes
-  in
+let boot_on ?(inject = fun (_ : string) -> ()) ch cache (config : Vm_config.t)
+    mem =
   let staged =
     Charge.span ch Trace.In_monitor "in-monitor" (fun () ->
+        inject "vmm-init";
         Charge.pay ch config.profile.Profiles.vmm_init_ns;
         Charge.pay ch config.profile.Profiles.io_setup_ns;
         (* device model wiring; block devices need their backing file *)
@@ -377,3 +375,29 @@ let boot ?arena ch cache (config : Vm_config.t) =
     config.devices;
   let stats = Imk_guest.Linux_boot.run ch config.kernel_config mem params in
   { config; params; stats; mem }
+
+let boot ?arena ?mem ?inject ch cache (config : Vm_config.t) =
+  if config.mem_bytes < 32 * 1024 * 1024 then
+    fail "guest memory too small (%d bytes)" config.mem_bytes;
+  match mem with
+  | Some m ->
+      (* caller-owned buffer (e.g. an [Arena.with_buffer] bracket): the
+         caller's bracket handles the failure path, we use it as-is *)
+      if Guest_mem.size m <> config.mem_bytes then
+        fail "provided guest memory is %d bytes, config wants %d"
+          (Guest_mem.size m) config.mem_bytes;
+      boot_on ?inject ch cache config m
+  | None -> (
+      match arena with
+      | None ->
+          boot_on ?inject ch cache config
+            (Guest_mem.create ~size:config.mem_bytes)
+      | Some a ->
+          (* success hands [mem] to the caller (who releases it); a boot
+             that raises must return the borrowed buffer itself or the
+             arena leaks one buffer per injected fault *)
+          let m = Arena.borrow a ~size:config.mem_bytes in
+          (try boot_on ?inject ch cache config m
+           with e ->
+             Arena.release a m;
+             raise e))

@@ -28,6 +28,13 @@ exception Boot_error of string
     memory, or an fgkaslr request against a kernel without function
     sections. *)
 
+exception Transient of string
+(** A transient monitor-side failure (the simulation analogue of an EINTR
+    during VM setup or a racing resource grab): retrying the same boot
+    can succeed. Raised only by an [inject] hook today — the taxonomy
+    ([Imk_fault.Failure]) and the supervisor's retry/backoff path key off
+    it. *)
+
 type boot_result = {
   config : Vm_config.t;
   params : Imk_guest.Boot_params.t;
@@ -43,6 +50,8 @@ val staging_pa : int
 
 val boot :
   ?arena:Imk_memory.Arena.t ->
+  ?mem:Imk_memory.Guest_mem.t ->
+  ?inject:(string -> unit) ->
   Imk_vclock.Charge.t ->
   Imk_storage.Page_cache.t ->
   Vm_config.t ->
@@ -55,7 +64,18 @@ val boot :
     [arena] makes the monitor borrow the guest's memory from a recycling
     pool instead of allocating it — the real-allocation analogue of
     Firecracker reusing microVM resources. Virtual-clock charges are
-    identical either way. The caller that drops the returned [mem] is
-    responsible for [Imk_memory.Arena.release]-ing it; results that
-    escape for analysis (LEBench, attacks) should simply never be
-    released. *)
+    identical either way. On success, the caller that drops the returned
+    [mem] is responsible for [Imk_memory.Arena.release]-ing it; results
+    that escape for analysis (LEBench, attacks) should simply never be
+    released. If the boot {e raises}, the borrowed buffer is released
+    back to the arena here — a failed boot never leaks it.
+
+    [mem] instead supplies a caller-owned all-zero buffer of exactly
+    [config.mem_bytes] (typically inside an [Arena.with_buffer] bracket);
+    the caller keeps ownership on both the success and failure paths.
+    [mem] takes precedence over [arena].
+
+    [inject] is a fault-injection hook called at named phase points
+    (currently ["vmm-init"], at the top of the In-Monitor span). It may
+    raise — e.g. {!Transient} — to simulate a phase failure; production
+    callers simply omit it. *)

@@ -15,7 +15,20 @@ val add : t -> name:string -> bytes -> unit
 
 val find : t -> string -> bytes
 (** [find t name] returns the image contents (shared, do not mutate).
-    Raises [Not_found]. *)
+    Raises [Not_found]. When a read fault is registered for [name]
+    ({!set_fault}), the fault function is applied to a private copy and
+    its result returned — the stored image itself is never mutated. *)
+
+val set_fault : t -> name:string -> (bytes -> bytes) -> unit
+(** [set_fault t ~name f] makes every subsequent read of [name] return
+    [f (Bytes.copy stored)] — a deterministic read-corruption model
+    (flaky medium, torn snapshot) for fault-injection campaigns. [f] must
+    be pure: reads repeat, and repeatability is what keeps campaigns
+    bit-identical across [--jobs] values. Replaces any previous fault on
+    [name]. *)
+
+val clear_fault : t -> name:string -> unit
+(** Remove the read fault on [name], if any. *)
 
 val mem : t -> string -> bool
 val size : t -> string -> int

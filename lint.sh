@@ -46,4 +46,28 @@ done
 if [ "$status" -ne 0 ]; then
   echo "lint: use Bytes.make n '\\000', or audit the use and extend lint.sh" >&2
 fi
+
+# Catch-all exception handlers in lib/ mask the typed failure taxonomy:
+# `try ... with _ ->` absorbs Guest_panic and Corrupt alike, and the
+# fault campaign's soundness check (zero silent successes) only means
+# something if no library code swallows exceptions blind. Match the
+# specific exception, or classify through Imk_fault.Failure.classify
+# (which re-raises what it cannot place). No file is currently
+# allowlisted; add one only with a comment proving the handler cannot
+# hide a typed boot failure.
+catchall_allowlist='
+'
+
+for f in $(find lib -name '*.ml' 2>/dev/null | sort); do
+  case "$catchall_allowlist" in
+  *"
+$f
+"*) continue ;;
+  esac
+  if grep -n 'with[[:space:]]*_[[:space:]]*->' "$f"; then
+    echo "lint: $f has a catch-all exception handler; match specific exceptions" >&2
+    status=1
+  fi
+done
+
 exit "$status"

@@ -169,7 +169,7 @@ let test_corrupt_relocs_rejected () =
     (try
        ignore (Testkit.boot env ~relocs:(Some "bad.relocs"));
        false
-     with Vmm.Boot_error _ -> true)
+     with Imk_elf.Relocation.Bad_table _ -> true)
 
 let test_wrong_relocs_detected_by_guest () =
   (* relocs from a *different* kernel: structurally valid, semantically

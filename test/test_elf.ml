@@ -189,14 +189,14 @@ let test_reloc_empty () =
 
 let test_reloc_bad_magic () =
   Alcotest.check_raises "bad magic"
-    (Invalid_argument "Relocation.decode: bad magic") (fun () ->
+    (Relocation.Bad_table "Relocation.decode: bad magic") (fun () ->
       ignore (Relocation.decode (Bytes.make 16 'x')))
 
 let test_reloc_truncated () =
   let t = { Relocation.abs64 = [| 1; 2 |]; abs32 = [||]; inv32 = [||] } in
   let enc = Relocation.encode t in
   Alcotest.check_raises "truncated"
-    (Invalid_argument "Relocation.decode: truncated entries") (fun () ->
+    (Relocation.Bad_table "Relocation.decode: truncated entries") (fun () ->
       ignore (Relocation.decode (Bytes.sub enc 0 (Bytes.length enc - 4))))
 
 let test_reloc_invariant () =
@@ -240,14 +240,14 @@ let test_note_rejects_garbage () =
     (try
        ignore (Note.decode (Bytes.create 4));
        false
-     with Invalid_argument _ -> true);
+     with Types.Malformed _ -> true);
   check Alcotest.bool "wrong owner" true
     (try
        ignore
          (Note.decode_kaslr
             { Note.owner = "GNU"; note_type = 1; desc = Bytes.create 32 });
        false
-     with Invalid_argument _ -> true)
+     with Types.Malformed _ -> true)
 
 let qcheck_roundtrip =
   QCheck.Test.make ~name:"elf: parse ∘ write = id on random images" ~count:40
@@ -291,6 +291,79 @@ let qcheck_reloc_roundtrip =
       let t = { Relocation.abs64 = arr a; abs32 = arr b; inv32 = arr c } in
       Relocation.decode (Relocation.encode t) = t)
 
+(* --- adversarial decoding: any corruption fails typed, never as a raw
+   [Invalid_argument]/[Failure] from the byte readers (mirrors the
+   test_compress adversarial suites) --- *)
+
+let mutate rng b =
+  let b = Bytes.copy b in
+  match Imk_entropy.Prng.next_int rng 3 with
+  | 0 ->
+      (* flip 1..8 bits anywhere *)
+      for _ = 1 to 1 + Imk_entropy.Prng.next_int rng 8 do
+        let bit = Imk_entropy.Prng.next_int rng (Bytes.length b * 8) in
+        Bytes.set b (bit / 8)
+          (Char.chr (Char.code (Bytes.get b (bit / 8)) lxor (1 lsl (bit mod 8))))
+      done;
+      b
+  | 1 ->
+      (* truncate to a random prefix *)
+      Bytes.sub b 0 (Imk_entropy.Prng.next_int rng (Bytes.length b))
+  | _ ->
+      (* splice a run of random garbage *)
+      let off = Imk_entropy.Prng.next_int rng (Bytes.length b) in
+      let len = min (Bytes.length b - off) (1 + Imk_entropy.Prng.next_int rng 64) in
+      for i = off to off + len - 1 do
+        Bytes.set b i (Char.chr (Imk_entropy.Prng.next_int rng 256))
+      done;
+      b
+
+let qcheck_parser_adversarial =
+  QCheck.Test.make
+    ~name:"elf: corrupted images parse or fail typed (Malformed)" ~count:300
+    QCheck.int64
+    (fun seed ->
+      let rng = Imk_entropy.Prng.create ~seed in
+      let b = mutate rng (Writer.write (sample_image ())) in
+      match Parser.parse b with
+      | _ -> true
+      | exception Parser.Malformed _ -> true
+      | exception _ -> false)
+
+let qcheck_reloc_adversarial =
+  QCheck.Test.make
+    ~name:"relocs: corrupted tables decode or fail typed (Bad_table)"
+    ~count:300 QCheck.int64
+    (fun seed ->
+      let rng = Imk_entropy.Prng.create ~seed in
+      let t =
+        {
+          Relocation.abs64 = Array.init 5 (fun i -> 100 + i);
+          abs32 = [| 7; 9 |];
+          inv32 = [| 3 |];
+        }
+      in
+      let b = mutate rng (Relocation.encode t) in
+      match Relocation.decode b with
+      | _ -> true
+      | exception Relocation.Bad_table _ -> true
+      | exception _ -> false)
+
+let qcheck_note_adversarial =
+  QCheck.Test.make
+    ~name:"notes: corrupted notes decode or fail typed (Malformed)"
+    ~count:300 QCheck.int64
+    (fun seed ->
+      let rng = Imk_entropy.Prng.create ~seed in
+      let note =
+        { Note.owner = "IMK-TEST"; note_type = 7; desc = Bytes.make 24 'd' }
+      in
+      let b = mutate rng (Note.encode note) in
+      match Note.decode_kaslr (Note.decode b) with
+      | _ -> true
+      | exception Types.Malformed _ -> true
+      | exception _ -> false)
+
 let () =
   Alcotest.run "imk_elf"
     [
@@ -313,6 +386,7 @@ let () =
               Imk_util.Byteio.set_addr b 40 (Bytes.length b * 2);
               Parser.parse b);
           QCheck_alcotest.to_alcotest qcheck_roundtrip;
+          QCheck_alcotest.to_alcotest qcheck_parser_adversarial;
         ] );
       ( "layout+builder",
         [
@@ -335,6 +409,7 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_note_roundtrip;
           Alcotest.test_case "kaslr constants" `Quick test_kaslr_note_roundtrip;
           Alcotest.test_case "rejects garbage" `Quick test_note_rejects_garbage;
+          QCheck_alcotest.to_alcotest qcheck_note_adversarial;
         ] );
       ( "relocations",
         [
@@ -345,5 +420,6 @@ let () =
           Alcotest.test_case "sorted invariant" `Quick test_reloc_invariant;
           Alcotest.test_case "map_sites" `Quick test_reloc_map_sites;
           QCheck_alcotest.to_alcotest qcheck_reloc_roundtrip;
+          QCheck_alcotest.to_alcotest qcheck_reloc_adversarial;
         ] );
     ]

@@ -1,0 +1,381 @@
+(* Tests for Imk_fault (failure taxonomy + deterministic injectors) and
+   Imk_harness.Boot_supervisor: every armed fault must end as a typed
+   failure or a recovered verify-green boot — never a silent success —
+   and supervision must be bit-identical for any ~jobs value. *)
+
+open Imk_monitor
+open Imk_harness
+module Failure = Imk_fault.Failure
+module Inject = Imk_fault.Inject
+
+let check = Alcotest.check
+let int = Alcotest.int
+let string = Alcotest.string
+
+(* --- taxonomy --- *)
+
+let kind_of e =
+  match Failure.classify e with
+  | Some f -> Failure.kind_name f
+  | None -> "unclassified"
+
+let test_classify_map () =
+  let expect tag e = check string tag tag (kind_of e) in
+  expect "corrupt-image" (Vmm.Boot_error "x");
+  expect "corrupt-image" (Imk_elf.Types.Malformed "x");
+  expect "corrupt-image" (Imk_kernel.Bzimage.Malformed "x");
+  expect "corrupt-image" (Imk_bootstrap.Loader.Loader_error "x");
+  expect "corrupt-image" (Imk_guest.Boot_info.Invalid "x");
+  expect "bad-reloc" (Imk_elf.Relocation.Bad_table "x");
+  expect "bad-reloc" (Imk_kernel.Relocs_tool.Unsupported "x");
+  expect "decode-error" (Imk_compress.Codec.Corrupt "x");
+  expect "decode-error" (Snapshot.Corrupt "x");
+  expect "decode-error" (Imk_kernel.Rootfs.Corrupt "x");
+  expect "decode-error" (Imk_kernel.Initrd.Corrupt "x");
+  expect "transient" (Vmm.Transient "x");
+  expect "guest-panic" (Imk_guest.Runtime.Panic "x");
+  expect "guest-panic" (Imk_memory.Guest_mem.Fault "x")
+
+let test_classify_rejects_programming_errors () =
+  List.iter
+    (fun e -> check string "unclassified" "unclassified" (kind_of e))
+    [ Not_found; Invalid_argument "x"; Stdlib.Failure "x"; Exit ]
+
+let test_describe () =
+  check string "describe" "bad-reloc: truncated"
+    (Failure.describe (Failure.Bad_reloc "truncated"));
+  check string "event name" "rederived-relocs"
+    (Failure.event_name (Failure.Rederived_relocs (Failure.Bad_reloc "m")))
+
+(* --- injector determinism --- *)
+
+let make_disk env =
+  let disk = Imk_storage.Disk.create () in
+  Imk_storage.Disk.add disk ~name:(Testkit.vmlinux_path env)
+    env.Testkit.built.Imk_kernel.Image.vmlinux;
+  Imk_storage.Disk.add disk ~name:(Testkit.relocs_path env)
+    env.Testkit.built.Imk_kernel.Image.relocs_bytes;
+  disk
+
+let test_arm_is_deterministic () =
+  let env = Testkit.make_env ~functions:50 () in
+  List.iter
+    (fun kind ->
+      let corrupted_view seed =
+        let disk = make_disk env in
+        let _armed =
+          Inject.arm kind ~seed ~disk ~kernel_path:(Testkit.vmlinux_path env)
+            ~relocs_path:(Testkit.relocs_path env) ()
+        in
+        ( Imk_storage.Disk.find disk (Testkit.vmlinux_path env),
+          Imk_storage.Disk.find disk (Testkit.relocs_path env) )
+      in
+      let k1, r1 = corrupted_view 42 and k2, r2 = corrupted_view 42 in
+      check Alcotest.bool (Inject.name kind ^ " image deterministic") true
+        (Bytes.equal k1 k2);
+      check Alcotest.bool (Inject.name kind ^ " relocs deterministic") true
+        (Bytes.equal r1 r2))
+    [
+      Inject.Truncate_image; Inject.Flip_image_magic; Inject.Flip_entry_magic;
+      Inject.Truncate_relocs; Inject.Flip_relocs_magic;
+      Inject.Read_fault_entry_magic;
+    ]
+
+let qcheck_flip_one_bit_flips_exactly_one =
+  QCheck.Test.make ~count:200 ~name:"inject: flip_one_bit changes exactly one bit"
+    QCheck.(pair small_int (string_of_size (QCheck.Gen.int_range 1 512)))
+    (fun (seed, s) ->
+      let b = Bytes.of_string s in
+      let flipped = Inject.flip_one_bit ~seed (Bytes.copy b) in
+      let diff_bits = ref 0 in
+      Bytes.iteri
+        (fun i c ->
+          let x = Char.code c lxor Char.code (Bytes.get flipped i) in
+          for bit = 0 to 7 do
+            if x land (1 lsl bit) <> 0 then incr diff_bits
+          done)
+        b;
+      !diff_bits = 1
+      && Bytes.equal flipped (Inject.flip_one_bit ~seed (Bytes.copy b)))
+
+(* --- supervision --- *)
+
+let supervise_env () =
+  let env = Testkit.make_env ~functions:50 () in
+  let vm =
+    Vm_config.make ~rando:Vm_config.Rando_kaslr
+      ~relocs_path:(Some (Testkit.relocs_path env))
+      ~mem_bytes:(64 * 1024 * 1024)
+      ~kernel_path:(Testkit.vmlinux_path env) ~kernel_config:env.Testkit.cfg
+      ~seed:0L ()
+  in
+  (env, vm)
+
+let armed_ctx ?(files = []) ?kernel_path env kind ~seed =
+  let disk = make_disk env in
+  List.iter (fun (n, b) -> Imk_storage.Disk.add disk ~name:n b) files;
+  let kernel_path =
+    Option.value ~default:(Testkit.vmlinux_path env) kernel_path
+  in
+  let armed =
+    Inject.arm kind ~seed ~disk ~kernel_path
+      ~relocs_path:(Testkit.relocs_path env) ()
+  in
+  {
+    Boot_supervisor.cache = Imk_storage.Page_cache.create disk;
+    inject = armed.Inject.inject;
+  }
+
+let plain_report ?(seed = 5L) () =
+  let env, vm = supervise_env () in
+  let ctx = Boot_supervisor.plain_ctx (Imk_storage.Page_cache.create (make_disk env)) in
+  Boot_supervisor.supervise ~seed ~ctx vm
+
+let test_supervise_clean_boot () =
+  let r = plain_report () in
+  (match r.Boot_supervisor.outcome with
+  | Ok stats -> check int "verified" 50 stats.Imk_guest.Runtime.functions_visited
+  | Error f -> Alcotest.failf "clean boot failed: %s" (Failure.describe f));
+  check int "one attempt" 1 r.Boot_supervisor.attempts;
+  check int "no events" 0 (List.length r.Boot_supervisor.events)
+
+let test_transient_retried_with_paid_backoff () =
+  let env, vm = supervise_env () in
+  let ctx = armed_ctx env (Inject.Transient_init 1) ~seed:3 in
+  let r = Boot_supervisor.supervise ~seed:5L ~ctx vm in
+  (match r.Boot_supervisor.outcome with
+  | Ok stats -> check int "verified after retry" 50 stats.Imk_guest.Runtime.functions_visited
+  | Error f -> Alcotest.failf "retry did not recover: %s" (Failure.describe f));
+  check int "two attempts" 2 r.Boot_supervisor.attempts;
+  (match r.Boot_supervisor.events with
+  | [ Failure.Retried { attempt = 1; failure = Failure.Transient _; backoff_ns } ] ->
+      check int "first backoff" Boot_supervisor.backoff_base_ns backoff_ns
+  | _ -> Alcotest.fail "expected exactly one Retried event");
+  (* the backoff is on the virtual clock: dearer than the same boot clean *)
+  let clean = plain_report ~seed:5L () in
+  check Alcotest.bool "retry charged" true
+    (r.Boot_supervisor.total_ns
+    > clean.Boot_supervisor.total_ns + Boot_supervisor.backoff_base_ns)
+
+let test_transient_exhausts_retries () =
+  let env, vm = supervise_env () in
+  let ctx = armed_ctx env (Inject.Transient_init 99) ~seed:3 in
+  let r = Boot_supervisor.supervise ~max_retries:2 ~seed:5L ~ctx vm in
+  (match r.Boot_supervisor.outcome with
+  | Error (Failure.Transient _) -> ()
+  | Ok _ -> Alcotest.fail "persistent transient must not end green"
+  | Error f -> Alcotest.failf "wrong kind: %s" (Failure.describe f));
+  check int "initial + 2 retries" 3 r.Boot_supervisor.attempts;
+  check int "two Retried events" 2 (List.length r.Boot_supervisor.events)
+
+let test_corrupt_image_is_typed_failure () =
+  let env, vm = supervise_env () in
+  List.iter
+    (fun (kind, expected) ->
+      let ctx = armed_ctx env kind ~seed:7 in
+      let r = Boot_supervisor.supervise ~seed:5L ~ctx vm in
+      match r.Boot_supervisor.outcome with
+      | Error f ->
+          check string (Inject.name kind) expected (Failure.kind_name f);
+          check int "no retries for persistent corruption" 1
+            r.Boot_supervisor.attempts
+      | Ok _ -> Alcotest.failf "%s booted green" (Inject.name kind))
+    [
+      (Inject.Truncate_image, "corrupt-image");
+      (Inject.Flip_image_magic, "corrupt-image");
+      (Inject.Flip_entry_magic, "guest-panic");
+      (Inject.Read_fault_entry_magic, "guest-panic");
+    ]
+
+let test_bad_relocs_rederived () =
+  let env, vm = supervise_env () in
+  List.iter
+    (fun kind ->
+      let ctx = armed_ctx env kind ~seed:11 in
+      let r = Boot_supervisor.supervise ~seed:5L ~ctx vm in
+      (match r.Boot_supervisor.outcome with
+      | Ok stats ->
+          check int
+            (Inject.name kind ^ " verifies after re-derivation")
+            50 stats.Imk_guest.Runtime.functions_visited
+      | Error f -> Alcotest.failf "rederive failed: %s" (Failure.describe f));
+      match r.Boot_supervisor.events with
+      | [ Failure.Rederived_relocs (Failure.Bad_reloc _) ] -> ()
+      | _ -> Alcotest.fail "expected exactly one Rederived_relocs event")
+    [ Inject.Truncate_relocs; Inject.Flip_relocs_magic ]
+
+let test_failed_attempts_do_not_poison_arena () =
+  let env, vm = supervise_env () in
+  let arena = Imk_memory.Arena.create () in
+  let ctx = armed_ctx env Inject.Flip_entry_magic ~seed:7 in
+  let r = Boot_supervisor.supervise ~arena ~seed:5L ~ctx vm in
+  (match r.Boot_supervisor.outcome with
+  | Error (Failure.Guest_panic _) -> ()
+  | _ -> Alcotest.fail "expected a guest panic");
+  (* the dead boot's memory is back, scrubbed: the next (clean) boot
+     recycles it and still verifies *)
+  check int "buffer back in pool" vm.Vm_config.mem_bytes
+    (Imk_memory.Arena.pooled_bytes arena);
+  let clean_ctx =
+    Boot_supervisor.plain_ctx (Imk_storage.Page_cache.create (make_disk env))
+  in
+  let r2 = Boot_supervisor.supervise ~arena ~seed:6L ~ctx:clean_ctx vm in
+  (match r2.Boot_supervisor.outcome with
+  | Ok stats -> check int "recycled boot verifies" 50 stats.Imk_guest.Runtime.functions_visited
+  | Error f -> Alcotest.failf "recycled boot failed: %s" (Failure.describe f));
+  check int "pool recycled, not regrown" vm.Vm_config.mem_bytes
+    (Imk_memory.Arena.pooled_bytes arena)
+
+let test_snapshot_falls_back_to_cold_boot () =
+  let env, vm = supervise_env () in
+  let _, r = Testkit.boot env ~seed:404L in
+  let blob = Snapshot.serialize (Snapshot.capture r) in
+  let disk = make_disk env in
+  Imk_storage.Disk.add disk ~name:"base.snapshot"
+    (Inject.flip_one_bit ~seed:17 (Bytes.copy blob));
+  let ctx = Boot_supervisor.plain_ctx (Imk_storage.Page_cache.create disk) in
+  let rep =
+    Boot_supervisor.supervise_snapshot ~seed:5L ~ctx
+      ~snapshot_path:"base.snapshot" ~working_set_pages:64 vm
+  in
+  (match rep.Boot_supervisor.outcome with
+  | Ok stats -> check int "fallback verifies" 50 stats.Imk_guest.Runtime.functions_visited
+  | Error f -> Alcotest.failf "fallback failed: %s" (Failure.describe f));
+  check int "restore + fallback boot" 2 rep.Boot_supervisor.attempts;
+  (match rep.Boot_supervisor.events with
+  | Failure.Fell_back_to_cold_boot (Failure.Decode_error _) :: _ -> ()
+  | _ -> Alcotest.fail "expected a cold-boot fallback event");
+  (* the pristine snapshot restores without any fallback *)
+  Imk_storage.Disk.add disk ~name:"base.snapshot" blob;
+  let ctx = Boot_supervisor.plain_ctx (Imk_storage.Page_cache.create disk) in
+  let ok =
+    Boot_supervisor.supervise_snapshot ~seed:5L ~ctx
+      ~snapshot_path:"base.snapshot" ~working_set_pages:64 vm
+  in
+  check int "pristine restore, one attempt" 1 ok.Boot_supervisor.attempts;
+  check int "pristine restore, no events" 0 (List.length ok.Boot_supervisor.events)
+
+(* --- jobs-invariance with injected faults (satellite 4) --- *)
+
+let reports_with_jobs env vm ~jobs =
+  (* cycle the fault kinds over the runs so both orders exercise
+     corruption, recovery and clean boots *)
+  let kinds =
+    [|
+      None;
+      Some Inject.Truncate_image;
+      Some Inject.Flip_relocs_magic;
+      Some (Inject.Transient_init 1);
+      Some Inject.Flip_entry_magic;
+    |]
+  in
+  Boot_supervisor.supervise_many ~jobs ~runs:10
+    ~ctx_for:(fun ~run ->
+      match kinds.(run mod Array.length kinds) with
+      | None -> Boot_supervisor.plain_ctx (Imk_storage.Page_cache.create (make_disk env))
+      | Some kind -> armed_ctx env kind ~seed:(131 * run))
+    ~make_vm:(fun ~seed -> { vm with Vm_config.seed })
+    ()
+
+let test_supervise_many_jobs_invariant () =
+  let env, vm = supervise_env () in
+  let seq = reports_with_jobs env vm ~jobs:1 in
+  let par = reports_with_jobs env vm ~jobs:3 in
+  check int "same length" (Array.length seq) (Array.length par);
+  Array.iteri
+    (fun i (a : Boot_supervisor.report) ->
+      let b = par.(i) in
+      check Alcotest.bool (Printf.sprintf "run %d identical" (i + 1)) true
+        (a = b))
+    seq
+
+(* --- soundness property: no armed fault ever yields a silent green
+   boot, and nothing escapes the taxonomy --- *)
+
+let test_bz_kinds_refuse_vmlinux () =
+  (* arming a bz fault on a vmlinux is harness miswiring, not a boot
+     failure: the injector must refuse rather than corrupt blindly *)
+  let env, _ = supervise_env () in
+  List.iter
+    (fun kind ->
+      match armed_ctx env kind ~seed:1 with
+      | (_ : Boot_supervisor.ctx) ->
+          Alcotest.failf "%s armed on a vmlinux" (Inject.name kind)
+      | exception Invalid_argument _ -> ())
+    [ Inject.Truncate_bzimage; Inject.Flip_bz_payload_crc ]
+
+let qcheck_no_silent_success =
+  let env, vm = supervise_env () in
+  let bz_path =
+    Testkit.add_bzimage env ~codec:"lz4" ~variant:Imk_kernel.Bzimage.Standard
+  in
+  let bz_bytes = Imk_storage.Disk.find env.Testkit.disk bz_path in
+  let bz_vm =
+    Vm_config.make ~flavor:Vm_config.In_monitor_fgkaslr
+      ~rando:Vm_config.Rando_kaslr ~relocs_path:None
+      ~mem_bytes:(64 * 1024 * 1024) ~kernel_path:bz_path
+      ~kernel_config:env.Testkit.cfg ~seed:0L ()
+  in
+  let kinds = Array.of_list Inject.all in
+  QCheck.Test.make ~count:40 ~name:"fault: armed boots never silently green"
+    QCheck.(pair (int_bound (Array.length kinds - 1)) (int_bound 10_000))
+    (fun (k, seed) ->
+      let kind = kinds.(k) in
+      let is_bz =
+        match kind with
+        | Inject.Truncate_bzimage | Inject.Flip_bz_payload_crc -> true
+        | _ -> false
+      in
+      let ctx, vm =
+        if is_bz then
+          ( armed_ctx env ~files:[ (bz_path, bz_bytes) ] ~kernel_path:bz_path
+              kind ~seed,
+            bz_vm )
+        else (armed_ctx env kind ~seed, vm)
+      in
+      let r = Boot_supervisor.supervise ~seed:(Int64.of_int (seed + 1)) ~ctx vm in
+      match r.Boot_supervisor.outcome with
+      | Error _ -> true
+      | Ok _ -> r.Boot_supervisor.events <> [])
+
+let () =
+  Alcotest.run "imk_fault"
+    [
+      ( "taxonomy",
+        [
+          Alcotest.test_case "classification map" `Quick test_classify_map;
+          Alcotest.test_case "programming errors unclassified" `Quick
+            test_classify_rejects_programming_errors;
+          Alcotest.test_case "describe" `Quick test_describe;
+        ] );
+      ( "inject",
+        [
+          Alcotest.test_case "arm is deterministic" `Quick
+            test_arm_is_deterministic;
+          Alcotest.test_case "bz kinds refuse a vmlinux" `Quick
+            test_bz_kinds_refuse_vmlinux;
+          QCheck_alcotest.to_alcotest qcheck_flip_one_bit_flips_exactly_one;
+        ] );
+      ( "supervise",
+        [
+          Alcotest.test_case "clean boot" `Quick test_supervise_clean_boot;
+          Alcotest.test_case "transient retried, backoff charged" `Quick
+            test_transient_retried_with_paid_backoff;
+          Alcotest.test_case "transient exhausts retries" `Quick
+            test_transient_exhausts_retries;
+          Alcotest.test_case "corruption is typed" `Quick
+            test_corrupt_image_is_typed_failure;
+          Alcotest.test_case "bad relocs re-derived" `Quick
+            test_bad_relocs_rederived;
+          Alcotest.test_case "arena survives failed attempts" `Quick
+            test_failed_attempts_do_not_poison_arena;
+          Alcotest.test_case "snapshot falls back to cold boot" `Quick
+            test_snapshot_falls_back_to_cold_boot;
+        ] );
+      ( "soundness",
+        [
+          Alcotest.test_case "jobs-invariant under faults" `Quick
+            test_supervise_many_jobs_invariant;
+          QCheck_alcotest.to_alcotest qcheck_no_silent_success;
+        ] );
+    ]

@@ -190,6 +190,58 @@ let test_arena_recycles_same_buffer () =
   let m3 = Arena.borrow a ~size:4096 in
   check int "fresh size" 4096 (Guest_mem.size m3)
 
+exception Boom
+
+let test_with_buffer_releases_on_raise () =
+  let a = Arena.create () in
+  (* normal path: buffer comes back to the pool *)
+  let raw1 =
+    Arena.with_buffer a ~size:8192 (fun m ->
+        Guest_mem.write_bytes m ~pa:64 (Bytes.make 32 '\xaa');
+        Guest_mem.raw m)
+  in
+  check int "pooled after return" 8192 (Arena.pooled_bytes a);
+  (* raising path: same guarantee *)
+  (try
+     Arena.with_buffer a ~size:8192 (fun m ->
+         check Alcotest.bool "recycled on the raising path" true
+           (Guest_mem.raw m == raw1);
+         Guest_mem.write_bytes m ~pa:4000 (Bytes.make 100 '\xff');
+         raise Boom)
+   with Boom -> ());
+  check int "pooled after raise" 8192 (Arena.pooled_bytes a);
+  (* the buffer the raising user dirtied is scrubbed, not poisoned
+     (check before touching [raw], which marks the guest dirty) *)
+  Arena.with_buffer a ~size:8192 (fun m ->
+      check Alcotest.bool "fresh-indistinguishable after raise" true
+        (Guest_mem.dirty_extent m = None
+        && Bytes.equal
+             (Guest_mem.read_bytes m ~pa:0 ~len:8192)
+             (Bytes.make 8192 '\000'));
+      check Alcotest.bool "still the same backing store" true
+        (Guest_mem.raw m == raw1))
+
+let qcheck_with_buffer_exception_safe =
+  QCheck.Test.make ~count:100
+    ~name:"arena: with_buffer releases scrubbed buffer on any exception"
+    QCheck.(pair (int_bound 65535) bool)
+    (fun (off, should_raise) ->
+      let size = 65536 in
+      let a = Arena.create () in
+      (try
+         Arena.with_buffer a ~size (fun m ->
+             let len = min 257 (size - off) in
+             if len > 0 then
+               Guest_mem.write_bytes m ~pa:off (Bytes.make len '\x5a');
+             if should_raise then raise Boom)
+       with Boom -> ());
+      Arena.pooled_bytes a = size
+      && Arena.with_buffer a ~size (fun m ->
+             Guest_mem.dirty_extent m = None
+             && Bytes.equal
+                  (Guest_mem.read_bytes m ~pa:0 ~len:size)
+                  (Bytes.make size '\000')))
+
 let qcheck_arena_recycled_like_fresh =
   QCheck.Test.make ~count:100
     ~name:"arena: recycled buffer indistinguishable from fresh create"
@@ -259,7 +311,10 @@ let () =
           Alcotest.test_case "dirty extent" `Quick test_dirty_extent_tracking;
           Alcotest.test_case "recycles buffer" `Quick
             test_arena_recycles_same_buffer;
+          Alcotest.test_case "with_buffer exception-safe" `Quick
+            test_with_buffer_releases_on_raise;
           QCheck_alcotest.to_alcotest qcheck_arena_recycled_like_fresh;
+          QCheck_alcotest.to_alcotest qcheck_with_buffer_exception_safe;
         ] );
       ( "page_table",
         [

@@ -56,6 +56,59 @@ let test_restore_charges_working_set () =
   in
   check Alcotest.bool "more faults cost more" true (large > small)
 
+let test_serialize_roundtrip () =
+  let _, _, r = booted () in
+  let snap = Snapshot.capture r in
+  let blob = Snapshot.serialize snap in
+  let reloaded = Snapshot.load ~config:r.Vmm.config blob in
+  check int "layout seed survives" (Snapshot.layout_seed_of snap)
+    (Snapshot.layout_seed_of reloaded);
+  let _, ch = Testkit.charge () in
+  let restored = Snapshot.restore ch reloaded ~working_set_pages:64 in
+  check int "reloaded clone verifies" 50
+    restored.Vmm.stats.Imk_guest.Runtime.functions_visited;
+  check int "same virtual base"
+    r.Vmm.params.Imk_guest.Boot_params.virt_base
+    restored.Vmm.params.Imk_guest.Boot_params.virt_base
+
+let expect_corrupt name f =
+  match f () with
+  | (_ : Snapshot.t) -> Alcotest.failf "%s: corruption not detected" name
+  | exception Snapshot.Corrupt _ -> ()
+
+(* one boot shared by the corruption tests: serializing a 64 MiB guest per
+   qcheck case would dominate the suite's runtime *)
+let snapshot_fixture =
+  lazy
+    (let _, _, r = booted ~seed:77L () in
+     (Snapshot.serialize (Snapshot.capture r), r.Vmm.config))
+
+let qcheck_load_rejects_bit_flips =
+  QCheck.Test.make ~count:60
+    ~name:"snapshot: any single flipped bit fails load with Corrupt"
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let blob, config = Lazy.force snapshot_fixture in
+      let mangled = Imk_fault.Inject.flip_one_bit ~seed (Bytes.copy blob) in
+      match Snapshot.load ~config mangled with
+      | (_ : Snapshot.t) -> false
+      | exception Snapshot.Corrupt _ -> true)
+
+let test_load_rejects_truncation () =
+  let blob, config = Lazy.force snapshot_fixture in
+  List.iter
+    (fun keep ->
+      expect_corrupt
+        (Printf.sprintf "truncated to %d bytes" keep)
+        (fun () -> Snapshot.load ~config (Bytes.sub blob 0 keep)))
+    [ 0; 4; 111; Bytes.length blob - 1; Bytes.length blob - 3 ]
+
+let test_load_rejects_bad_magic () =
+  let blob, config = Lazy.force snapshot_fixture in
+  let blob = Bytes.copy blob in
+  Bytes.set blob 0 'X';
+  expect_corrupt "bad magic" (fun () -> Snapshot.load ~config blob)
+
 let test_layout_seed_distinguishes () =
   let env = Testkit.make_env ~functions:50 () in
   let _, a = Testkit.boot env ~seed:1L in
@@ -127,6 +180,16 @@ let () =
             test_restore_charges_working_set;
           Alcotest.test_case "layout fingerprint" `Quick
             test_layout_seed_distinguishes;
+        ] );
+      ( "serialization",
+        [
+          Alcotest.test_case "serialize/load round-trip" `Quick
+            test_serialize_roundtrip;
+          Alcotest.test_case "truncation rejected" `Quick
+            test_load_rejects_truncation;
+          Alcotest.test_case "bad magic rejected" `Quick
+            test_load_rejects_bad_magic;
+          QCheck_alcotest.to_alcotest qcheck_load_rejects_bit_flips;
         ] );
       ( "zygote",
         [
