@@ -8,20 +8,31 @@
      bench/main.exe --runs 100      paper-strength repetitions
      bench/main.exe --functions 400 smaller synthetic kernels (smoke)
      bench/main.exe --jobs 4        fan boots out over 4 domains
+     bench/main.exe --exp fig9 --baseline BENCH_fig9.json
+                                    diff against a saved run; exit 1 on
+                                    p50 regressions (--threshold PCT)
+     bench/main.exe --exp fig5 --trace boot.json
+                                    dump one boot's span timeline in
+                                    Chrome tracing format
      bench/main.exe --exp micro     only the Bechamel micro-benchmarks
 
-   Each experiment also writes BENCH_<id>.json (wall-clock seconds and
-   the per-row virtual boot-time means) into the current directory. *)
+   Each experiment also writes BENCH_<id>.json (schema 2: wall-clock
+   seconds plus per-row boot-time distributions and per-phase
+   breakdowns) into the current directory. *)
 
 let runs = ref 20
 let exps = ref []
 let functions = ref None
 let scale = ref 16
 let jobs = ref (Imk_util.Par.default_jobs ())
+let baseline_path = ref None
+let threshold = ref Imk_harness.Telemetry.default_threshold_pct
+let trace_path = ref None
 
 let usage () =
   prerr_endline
     "usage: main.exe [--exp <id>]... [--runs N] [--functions N] [--scale N] [--jobs N]\n\
+     \               [--baseline BENCH_<id>.json] [--threshold PCT] [--trace out.json]\n\
      experiments: table1 fig3 fig4 fig5 fig6 fig9 fig10 fig11 qemu throughput security faults\n\
      \             ablation-kallsyms ablation-orc ablation-page-sharing ablation-rerando ablation-zygote ablation-unikernel ablation-devices micro all";
   exit 2
@@ -43,6 +54,15 @@ let rec parse = function
   | "--jobs" :: v :: rest ->
       jobs := int_of_string v;
       parse rest
+  | "--baseline" :: v :: rest ->
+      baseline_path := Some v;
+      parse rest
+  | "--threshold" :: v :: rest ->
+      threshold := float_of_string v;
+      parse rest
+  | "--trace" :: v :: rest ->
+      trace_path := Some v;
+      parse rest
   | _ -> usage ()
 
 let print_output (o : Imk_harness.Experiments.output) =
@@ -51,6 +71,100 @@ let print_output (o : Imk_harness.Experiments.output) =
   List.iter (fun n -> Printf.printf "  note: %s\n" n) o.Imk_harness.Experiments.notes;
   flush stdout
 
+(* --baseline: read once up front so a missing or malformed file fails
+   before any experiment burns wall-clock time. Any parse failure must
+   fail the gate, not pass it — so no handler here. *)
+let baseline =
+  lazy
+    (Option.map
+       (fun p ->
+         Imk_harness.Telemetry.of_json (Imk_harness.Telemetry.read_file p))
+       !baseline_path)
+
+let gate_failed = ref false
+
+(* Diff one experiment's fresh rows against the baseline file and print
+   the per-label / per-phase p50 delta table. Only headline totals trip
+   the gate; phase rows say where a regression lives. *)
+let check_baseline id (current : Imk_harness.Telemetry.file) =
+  match Lazy.force baseline with
+  | None -> ()
+  | Some base when base.Imk_harness.Telemetry.experiment <> id ->
+      Printf.printf
+        "  baseline: file is for experiment %s, not %s — skipping the gate\n"
+        base.Imk_harness.Telemetry.experiment id
+  | Some base ->
+      let module T = Imk_harness.Telemetry in
+      let deltas = T.diff ~threshold_pct:!threshold ~baseline:base ~current () in
+      let tbl =
+        Imk_util.Table.create
+          ~headers:
+            [ "label"; "phase"; "base p50 ms"; "cur p50 ms"; "delta %"; "gate" ]
+      in
+      List.iter
+        (fun (d : T.delta) ->
+          Imk_util.Table.add_row tbl
+            [
+              d.T.d_label;
+              Option.value ~default:"total" d.T.d_phase;
+              Printf.sprintf "%.4f" d.T.baseline_p50;
+              Printf.sprintf "%.4f" d.T.current_p50;
+              Printf.sprintf "%+.2f" d.T.change_pct;
+              (if d.T.regression then "REGRESSION" else "ok");
+            ])
+        deltas;
+      Printf.printf "\n  --- baseline diff (%s, threshold %+.1f%% on total p50) ---\n"
+        id !threshold;
+      Imk_util.Table.print tbl;
+      let only_base, only_cur = T.missing_labels ~baseline:base ~current in
+      List.iter
+        (fun l -> Printf.printf "  note: label %S only in baseline\n" l)
+        only_base;
+      List.iter
+        (fun l -> Printf.printf "  note: label %S only in current run\n" l)
+        only_cur;
+      (match T.regressions deltas with
+      | [] -> Printf.printf "  baseline: no regressions\n"
+      | rs ->
+          gate_failed := true;
+          Printf.printf "  baseline: %d regression(s) beyond %+.1f%%\n"
+            (List.length rs) !threshold);
+      flush stdout
+
+(* --trace: tap the first completed boot of the run via the ambient
+   Boot_runner sink. The sink fires on whatever domain booted (a worker
+   under --jobs), so the capture is mutex-guarded; only the first trace
+   across all requested experiments is kept. *)
+let trace_written = ref false
+
+let with_trace_capture id f =
+  match !trace_path with
+  | Some path when not !trace_written ->
+      let mu = Mutex.create () in
+      let captured = ref None in
+      Imk_harness.Boot_runner.trace_sink :=
+        Some
+          (fun tr ->
+            Mutex.lock mu;
+            (match !captured with
+            | None -> captured := Some tr
+            | Some _ -> ());
+            Mutex.unlock mu);
+      Fun.protect
+        ~finally:(fun () -> Imk_harness.Boot_runner.trace_sink := None)
+        (fun () ->
+          let r = f () in
+          (match !captured with
+          | Some tr ->
+              Imk_vclock.Trace_export.write_file tr ~path
+                ~process_name:(id ^ " boot");
+              trace_written := true;
+              Printf.printf "  trace: first %s boot -> %s\n" id path
+          | None ->
+              Printf.printf "  trace: %s booted nothing, no trace written\n" id);
+          r)
+  | _ -> f ()
+
 (* run one experiment under the wall clock and drop BENCH_<id>.json next
    to the invocation — the real-time cost of the simulation, as opposed
    to the virtual boot times in the table itself *)
@@ -58,17 +172,30 @@ let timed_experiment id
     (f : ?runs:int -> Imk_harness.Workspace.t -> Imk_harness.Experiments.output)
     ws =
   let t0 = Unix.gettimeofday () in
-  let o = f ~runs:!runs ws in
+  let o = with_trace_capture id (fun () -> f ~runs:!runs ws) in
   let wall = Unix.gettimeofday () -. t0 in
   print_output o;
+  let rows = Imk_harness.Telemetry.rows o in
+  (match
+     ( rows,
+       Imk_harness.Telemetry.value_column
+         (Imk_util.Table.headers o.Imk_harness.Experiments.table) )
+   with
+  | [], Some _ ->
+      Printf.printf
+        "  warning: %s renders a millisecond column but exported no telemetry \
+         rows\n"
+        id
+  | _ -> ());
   let json =
     Imk_harness.Telemetry.to_json ~experiment:id ~runs:!runs ~jobs:!jobs
-      ~scale:!scale ~functions:!functions ~wall_clock_s:wall
-      (Imk_harness.Telemetry.boot_means o)
+      ~scale:!scale ~functions:!functions ~wall_clock_s:wall rows
   in
   let path = "BENCH_" ^ id ^ ".json" in
   Imk_harness.Telemetry.write_file path json;
-  Printf.printf "  wall clock: %.2f s (jobs=%d) -> %s\n" wall !jobs path;
+  Printf.printf "  wall clock: %.2f s (jobs=%d) -> %s (schema %d)\n" wall !jobs
+    path Imk_harness.Telemetry.schema_version;
+  check_baseline id (Imk_harness.Telemetry.of_json json);
   flush stdout
 
 (* --- Bechamel micro-benchmarks: the primitive costs behind the cost
@@ -176,4 +303,5 @@ let () =
           | None ->
               Printf.eprintf "unknown experiment %s\n" id;
               usage ()))
-    requested
+    requested;
+  if !gate_failed then exit 1

@@ -237,12 +237,17 @@ let run kernel rando method_ mem_mib runs seed cold vmm cmdline with_devices
         ~cache:(Imk_harness.Workspace.cache ws) ~make_vm ()
     in
     let s = stats.Imk_harness.Boot_runner.total in
+    let ms = Imk_util.Units.ns_float_to_ms in
     Printf.printf "over %d boots: mean %.2f ms  min %.2f  max %.2f  sd %.2f\n"
       runs
-      (Imk_util.Units.ns_float_to_ms s.Imk_util.Stats.mean)
-      (Imk_util.Units.ns_float_to_ms s.Imk_util.Stats.min)
-      (Imk_util.Units.ns_float_to_ms s.Imk_util.Stats.max)
-      (Imk_util.Units.ns_float_to_ms s.Imk_util.Stats.stddev)
+      (ms s.Imk_util.Stats.mean)
+      (ms s.Imk_util.Stats.min)
+      (ms s.Imk_util.Stats.max)
+      (ms s.Imk_util.Stats.stddev);
+    Printf.printf "              p50 %.2f ms  p90 %.2f  p99 %.2f\n"
+      (ms s.Imk_util.Stats.p50)
+      (ms s.Imk_util.Stats.p90)
+      (ms s.Imk_util.Stats.p99)
   end;
   0
 

@@ -1,0 +1,12 @@
+#!/bin/sh
+# Tier-1 gate, in one command: build everything, run all test suites,
+# then lint. CI and pre-commit both call this; if it exits 0 the tree
+# is in the state ROADMAP.md calls "tier-1 green".
+
+set -eu
+cd "$(dirname "$0")"
+
+dune build @all
+dune runtest
+./lint.sh
+echo "check.sh: tier-1 green"

@@ -12,6 +12,11 @@ let ms s = Imk_util.Units.ns_float_to_ms s.Imk_util.Stats.mean
 
 let default_jobs = ref 1
 
+let trace_sink : (Trace.t -> unit) option ref = ref None
+
+let emit_trace trace =
+  match !trace_sink with Some f -> f trace | None -> ()
+
 let boot_once ?(jitter = true) ?arena ?mem ~seed ~cache vm =
   let clock = Clock.create () in
   let trace = Trace.create clock in
@@ -24,6 +29,7 @@ let boot_once ?(jitter = true) ?arena ?mem ~seed ~cache vm =
     Imk_monitor.Vmm.boot ?arena ?mem ch cache
       { vm with Imk_monitor.Vm_config.seed }
   in
+  emit_trace trace;
   (trace, result)
 
 let warm_seed i = Int64.of_int (1000 + i)

@@ -21,6 +21,22 @@ val default_jobs : int ref
     the bench/fcsim [--jobs] flag sets this once instead of threading a
     parameter through every experiment. Default 1 (sequential). *)
 
+val trace_sink : (Imk_vclock.Trace.t -> unit) option ref
+(** Ambient trace tap: when set, every completed boot's full span trace
+    is offered to the sink — {!boot_once} (and therefore every
+    [boot_many] repetition) and each [Boot_supervisor] report feed it.
+    This is how [bench/main.exe --trace] captures a representative boot
+    of any experiment without threading a parameter through every
+    driver. The sink runs on whatever domain booted (under [--jobs] that
+    is a worker), so it must synchronize internally and must not raise.
+    Purely observational: installing a sink never changes virtual-clock
+    results. Default [None]. *)
+
+val emit_trace : Imk_vclock.Trace.t -> unit
+(** Offer a finished trace to {!trace_sink} (no-op when unset). Called
+    by the boot paths above; exposed for other harness entry points
+    (e.g. the supervisor) rather than for general use. *)
+
 val boot_many :
   ?warmups:int ->
   ?cold:bool ->

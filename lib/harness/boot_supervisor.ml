@@ -114,6 +114,8 @@ let supervise ?(jitter = true) ?arena ?(max_retries = default_max_retries)
   let trace, ch = make_charge ~jitter ~seed in
   let vm = { vm with Imk_monitor.Vm_config.seed } in
   let outcome, attempts, events = supervise_on ch ?arena ~max_retries ~ctx vm in
+  (* recovery spans (retry-backoff, rederive-relocs) included *)
+  Boot_runner.emit_trace trace;
   { outcome; attempts; events; total_ns = Trace.total trace }
 
 let supervise_snapshot ?(jitter = true) ?arena
@@ -135,6 +137,7 @@ let supervise_snapshot ?(jitter = true) ?arena
     Imk_monitor.Snapshot.restore ch snap ~working_set_pages
   with
   | r ->
+      Boot_runner.emit_trace trace;
       {
         outcome = Ok r.Imk_monitor.Vmm.stats;
         attempts = 1;
@@ -151,6 +154,7 @@ let supervise_snapshot ?(jitter = true) ?arena
           let outcome, attempts, events =
             supervise_on ch ?arena ~max_retries ~ctx vm
           in
+          Boot_runner.emit_trace trace;
           {
             outcome;
             attempts = attempts + 1;

@@ -16,7 +16,12 @@
     None of the recovery work is free: backoff, re-derivation and the
     fallback boot are charged to the same virtual clock as the boot
     itself, each in its own labelled span, so the faults experiment can
-    report what recovery costs. *)
+    report what recovery costs.
+
+    Every finished supervised boot offers its full trace — recovery
+    spans included — to {!Boot_runner.trace_sink}, so
+    [bench/main.exe --trace] can dump a supervised campaign's timeline
+    exactly like a plain one. *)
 
 type ctx = {
   cache : Imk_storage.Page_cache.t;  (** the run's (private) page cache *)

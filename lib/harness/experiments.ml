@@ -1,11 +1,18 @@
 open Imk_kernel
 open Imk_monitor
 
+type boot_row = {
+  label : string;
+  total : Imk_util.Stats.summary;
+  phases : (string * Imk_util.Stats.summary) list;
+}
+
 type output = {
   id : string;
   title : string;
   table : Imk_util.Table.t;
   notes : string list;
+  telemetry : boot_row list;
 }
 
 let presets = Config.all_presets
@@ -13,6 +20,27 @@ let pname = Config.preset_name
 let msf = Boot_runner.ms
 let msv f = Printf.sprintf "%.1f" f
 let pct a b = Imk_util.Stats.pct_change b a (* change of a relative to b *)
+
+(* the telemetry row for one boot_many campaign: the raw nanosecond
+   summaries, phases that never ran (n = 0) dropped rather than padded
+   with fabricated zeros *)
+let boot_row label (s : Boot_runner.phase_stats) =
+  {
+    label;
+    total = s.Boot_runner.total;
+    phases =
+      List.filter
+        (fun (_, sum) -> sum.Imk_util.Stats.n > 0)
+        [
+          ("in-monitor", s.Boot_runner.in_monitor);
+          ("bootstrap", s.Boot_runner.bootstrap);
+          ("decompression", s.Boot_runner.decompression);
+          ("linux-boot", s.Boot_runner.linux_boot);
+        ];
+  }
+
+(* a single measured quantity (already in ns) as a one-sample row *)
+let scalar_row label ns = { label; total = Imk_util.Stats.summarize [ ns ]; phases = [] }
 
 let direct_vm ws preset variant ~rando ?(kallsyms = Vm_config.Kallsyms_eager)
     ?(profile = Profiles.firecracker) ?(mem = 256 * 1024 * 1024) () ~seed =
@@ -87,6 +115,7 @@ let table1 ws =
         "fgkaslr variants are larger than kaslr variants (function sections)";
         "relocs grow: lupine < aws < ubuntu, and kaslr < fgkaslr";
       ];
+    telemetry = [];
   }
 
 (* ---------- Figure 3: compression bakeoff ---------- *)
@@ -117,10 +146,16 @@ let fig3 ?(runs = 20) ws =
             msv (Imk_util.Units.ns_to_ms (int_of_float s.Boot_runner.total.Imk_util.Stats.min));
             msv (Imk_util.Units.ns_to_ms (int_of_float s.Boot_runner.total.Imk_util.Stats.max));
           ];
-        (codec, msf s.Boot_runner.total))
+        (codec, s))
       codecs
   in
-  let best = List.fold_left (fun (bc, bv) (c, v) -> if v < bv then (c, v) else (bc, bv)) ("", infinity) totals in
+  let best =
+    List.fold_left
+      (fun (bc, bv) (c, s) ->
+        let v = msf s.Boot_runner.total in
+        if v < bv then (c, v) else (bc, bv))
+      ("", infinity) totals
+  in
   {
     id = "fig3";
     title = "Figure 3: compression bakeoff (aws kernel bzImage boots, cached)";
@@ -129,6 +164,7 @@ let fig3 ?(runs = 20) ws =
       [
         Printf.sprintf "fastest codec: %s (paper: LZ4)" (fst best);
       ];
+    telemetry = List.map (fun (codec, s) -> boot_row codec s) totals;
   }
 
 (* ---------- Figure 4: cache effects ---------- *)
@@ -139,6 +175,7 @@ let fig4 ?(runs = 20) ws =
       ~headers:[ "kernel"; "method"; "cache"; "in-monitor"; "bootstrap"; "decomp"; "linux"; "total ms" ]
   in
   let notes = ref [] in
+  let rows = ref [] in
   List.iter
     (fun preset ->
       let run ~cold ~method_name make_vm =
@@ -146,6 +183,12 @@ let fig4 ?(runs = 20) ws =
         let s =
           Boot_runner.boot_many ~arena:(Workspace.arena ws) ~cold ~runs ~cache:(Workspace.cache ws) ~make_vm ()
         in
+        rows :=
+          boot_row
+            (String.concat "/"
+               [ pname preset; method_name; (if cold then "cold" else "warm") ])
+            s
+          :: !rows;
         Imk_util.Table.add_row table
           [
             pname preset;
@@ -181,6 +224,7 @@ let fig4 ?(runs = 20) ws =
     title = "Figure 4: cache effects on bzImage vs direct boot";
     table;
     notes = List.rev !notes;
+    telemetry = List.rev !rows;
   }
 
 (* ---------- Figure 5: bootstrap breakdown ---------- *)
@@ -192,6 +236,7 @@ let fig5 ?(runs = 10) ws =
       ~headers:[ "kernel"; "setup ms"; "decompression ms"; "parse+load ms"; "decomp %" ]
   in
   let notes = ref [] in
+  let rows = ref [] in
   List.iter
     (fun preset ->
       Workspace.warm_all ws;
@@ -208,6 +253,19 @@ let fig5 ?(runs = 10) ws =
       let decomp = find "decompress-lz4" in
       let main = find "loader-main" in
       let total_loader = setup + decomp + main in
+      let span_summary ns = Imk_util.Stats.summarize [ float_of_int ns ] in
+      rows :=
+        {
+          label = pname preset;
+          total = span_summary total_loader;
+          phases =
+            [
+              ("loader-setup", span_summary setup);
+              ("decompress-lz4", span_summary decomp);
+              ("loader-main", span_summary main);
+            ];
+        }
+        :: !rows;
       let pct_decomp =
         100. *. float_of_int decomp /. float_of_int (max 1 total_loader)
       in
@@ -226,6 +284,7 @@ let fig5 ?(runs = 10) ws =
     title = "Figure 5: bootstrap loader step breakdown (LZ4 bzImage)";
     table;
     notes = List.rev !notes;
+    telemetry = List.rev !rows;
   }
 
 (* ---------- Figure 6: bootstrap methods ---------- *)
@@ -235,9 +294,11 @@ let fig6 ?(runs = 20) ws =
     Imk_util.Table.create
       ~headers:[ "method"; "in-monitor"; "bootstrap"; "decomp"; "total ms" ]
   in
+  let rows = ref [] in
   let measure method_name make_vm =
     Workspace.warm_all ws;
     let s = Boot_runner.boot_many ~arena:(Workspace.arena ws) ~runs ~cache:(Workspace.cache ws) ~make_vm () in
+    rows := boot_row method_name s :: !rows;
     Imk_util.Table.add_row table
       [
         method_name;
@@ -272,6 +333,7 @@ let fig6 ?(runs = 20) ws =
         "slowest→fastest: " ^ String.concat " > " ordered
         ^ "  (paper: none > lz4 > none-optimized > uncompressed)";
       ];
+    telemetry = List.rev !rows;
   }
 
 (* ---------- Figure 9: main evaluation ---------- *)
@@ -344,11 +406,17 @@ let fig9 ?(runs = 20) ws =
           fig9_cell ~jobs:1 wws p r ~runs ~method_:m)
     end
   in
+  let rows = ref [] in
   Array.iteri
     (fun i (preset, rando, mname, _) ->
       let s = stats.(i) in
       Hashtbl.replace cell (preset, rando_name rando, mname)
         (msf s.Boot_runner.total);
+      rows :=
+        boot_row
+          (String.concat "/" [ pname preset; rando_name rando; mname ])
+          s
+        :: !rows;
       Imk_util.Table.add_row table
         [
           pname preset;
@@ -388,6 +456,7 @@ let fig9 ?(runs = 20) ws =
     title = "Figure 9: boot time by randomization method (cached, 256 MiB)";
     table;
     notes = List.rev !notes;
+    telemetry = List.rev !rows;
   }
 
 (* ---------- Figure 10: memory sweep ---------- *)
@@ -404,6 +473,7 @@ let fig10 ?(runs = 5) ws =
     [ (256, 256 * 1024 * 1024); (512, 512 * 1024 * 1024); (1024, 1024 * 1024 * 1024); (2048, 2048 * 1024 * 1024) ]
   in
   let notes = ref [] in
+  let rows = ref [] in
   List.iter
     (fun preset ->
       List.iter
@@ -418,6 +488,15 @@ let fig10 ?(runs = 5) ws =
               let s =
                 Boot_runner.boot_many ~arena:(Workspace.arena ws) ~runs ~cache:(Workspace.cache ws) ~make_vm ()
               in
+              (* the memory size is a numeric key cell: it must stay in
+                 the label or the four sweep points collapse onto one
+                 row and silently shadow each other *)
+              rows :=
+                boot_row
+                  (Printf.sprintf "%s/%s/%dM" (pname preset)
+                     (rando_name rando) label)
+                  s
+                :: !rows;
               im_values := msf s.Boot_runner.in_monitor :: !im_values;
               Imk_util.Table.add_row table
                 [
@@ -444,6 +523,7 @@ let fig10 ?(runs = 5) ws =
     title = "Figure 10: guest memory impact on boot time";
     table;
     notes = List.rev !notes;
+    telemetry = List.rev !rows;
   }
 
 (* ---------- Figure 11: LEBench ---------- *)
@@ -489,6 +569,7 @@ let fig11 ?(runs = 1) ws =
         Printf.sprintf "FGKASLR average %.1f%% slower (paper: ~7%%)"
           ((avg f -. 1.) *. 100.);
       ];
+    telemetry = [];
   }
 
 (* ---------- QEMU cross-check ---------- *)
@@ -499,6 +580,7 @@ let qemu_check ?(runs = 10) ws =
       ~headers:[ "vmm"; "method"; "in-monitor"; "total ms" ]
   in
   let notes = ref [] in
+  let rows = ref [] in
   List.iter
     (fun profile ->
       let totals =
@@ -508,6 +590,8 @@ let qemu_check ?(runs = 10) ws =
             let s =
               Boot_runner.boot_many ~arena:(Workspace.arena ws) ~runs ~cache:(Workspace.cache ws) ~make_vm ()
             in
+            rows :=
+              boot_row (profile.Profiles.name ^ "/" ^ mname) s :: !rows;
             Imk_util.Table.add_row table
               [
                 profile.Profiles.name;
@@ -537,6 +621,7 @@ let qemu_check ?(runs = 10) ws =
     title = "QEMU cross-check (§2.2): cached direct boot wins on both VMMs";
     table;
     notes = List.rev !notes;
+    telemetry = List.rev !rows;
   }
 
 (* ---------- VM instantiation throughput (§5.2) ---------- *)
@@ -604,14 +689,14 @@ let throughput ?(runs = 30) ws =
       (fun rando ->
         let s = samples rando in
         let mean = Imk_util.Stats.mean (Array.to_list s) in
-        (rando, mean, rate s))
+        (rando, s, mean, rate s))
       schemes
   in
   let base_rate =
-    match rates with (_, _, r) :: _ -> r | [] -> assert false
+    match rates with (_, _, _, r) :: _ -> r | [] -> assert false
   in
   List.iter
-    (fun (rando, mean, r) ->
+    (fun (rando, _, mean, r) ->
       Imk_util.Table.add_row table
         [
           rando_name rando;
@@ -622,12 +707,12 @@ let throughput ?(runs = 30) ws =
     rates;
   let kaslr_loss =
     match rates with
-    | [ _; (_, _, rk); _ ] -> 100. *. (1. -. (rk /. base_rate))
+    | [ _; (_, _, _, rk); _ ] -> 100. *. (1. -. (rk /. base_rate))
     | _ -> 0.
   in
   let fg_loss =
     match rates with
-    | [ _; _; (_, _, rf) ] -> 100. *. (1. -. (rf /. base_rate))
+    | [ _; _; (_, _, _, rf) ] -> 100. *. (1. -. (rf /. base_rate))
     | _ -> 0.
   in
   {
@@ -642,6 +727,17 @@ let throughput ?(runs = 30) ws =
            tradeoff ... a decrease in throughput\")"
           kaslr_loss fg_loss;
       ];
+    telemetry =
+      List.map
+        (fun (rando, s, _, _) ->
+          {
+            label = rando_name rando;
+            total =
+              Imk_util.Stats.summarize
+                (List.map (fun ms -> ms *. 1e6) (Array.to_list s));
+            phases = [];
+          })
+        rates;
   }
 
 (* ---------- Security ---------- *)
@@ -730,6 +826,7 @@ let security ws =
           perm.Imk_security.Uniformity.threshold
           (if perm.Imk_security.Uniformity.uniform then "uniform" else "BIASED");
       ];
+    telemetry = [];
   }
 
 (* ---------- Ablations ---------- *)
@@ -778,6 +875,7 @@ let ablation_kallsyms ?(runs = 20) ws =
     id = "ablation-kallsyms";
     title = "Ablation: eager vs deferred kallsyms fixup (§4.3)";
     table;
+    telemetry = [ boot_row "eager" eager; boot_row "deferred" deferred ];
     notes =
       [
         Printf.sprintf
@@ -818,6 +916,7 @@ let ablation_orc ?(runs = 20) ws =
     table;
     notes =
       [ Printf.sprintf "updating ORC would add %.1f ms (+%.1f%%)" (u -. s) (pct u s) ];
+    telemetry = [ boot_row "orc-skip" skip; boot_row "orc-update" update ];
   }
 
 let ablation_page_sharing ws =
@@ -874,6 +973,7 @@ let ablation_page_sharing ws =
          related VMs, restoring page-merging that fine-grained \
          randomization otherwise nullifies";
       ];
+    telemetry = [];
   }
 
 let ablation_rerando ?(runs = 20) ws =
@@ -887,9 +987,11 @@ let ablation_rerando ?(runs = 20) ws =
       ~headers:
         [ "policy"; "boot ms"; "invocations/s"; "layouts per 100 invocations" ]
   in
+  let rows = ref [] in
   let measure name make_vm ~reboot =
     Workspace.warm_all ws;
     let s = Boot_runner.boot_many ~arena:(Workspace.arena ws) ~runs ~cache:(Workspace.cache ws) ~make_vm () in
+    rows := boot_row name s :: !rows;
     let boot_ms = msf s.Boot_runner.total in
     let per_invocation =
       if reboot then boot_ms +. invocation_ms else invocation_ms
@@ -927,6 +1029,7 @@ let ablation_rerando ?(runs = 20) ws =
           (100. *. (1. -. (inm /. persistent)))
           (100. *. (1. -. (self /. persistent)));
       ];
+    telemetry = List.rev !rows;
   }
 
 let ablation_devices ?(runs = 20) ws =
@@ -940,6 +1043,7 @@ let ablation_devices ?(runs = 20) ws =
     Imk_util.Table.create
       ~headers:[ "vmm"; "devices"; "in-monitor"; "linux"; "total ms" ]
   in
+  let rows = ref [] in
   let boot profile devices label =
     Workspace.warm_all ws;
     let make_vm ~seed =
@@ -951,6 +1055,7 @@ let ablation_devices ?(runs = 20) ws =
         ~seed ()
     in
     let s = Boot_runner.boot_many ~arena:(Workspace.arena ws) ~runs ~cache:(Workspace.cache ws) ~make_vm () in
+    rows := boot_row (profile.Profiles.name ^ "/" ^ label) s :: !rows;
     Imk_util.Table.add_row table
       [
         profile.Profiles.name;
@@ -984,6 +1089,7 @@ let ablation_devices ?(runs = 20) ws =
            In-Monitor small (§2.1)"
           (fc_full -. fc_none);
       ];
+    telemetry = List.rev !rows;
   }
 
 let ablation_unikernel ?(runs = 20) ws =
@@ -1006,6 +1112,7 @@ let ablation_unikernel ?(runs = 20) ws =
     Imk_util.Table.create
       ~headers:[ "configuration"; "boot ms"; "min"; "max"; "distinct layouts/20" ]
   in
+  let rows = ref [] in
   let boot name ~kernel ~rando:mode ~relocs =
     Workspace.warm_all ws;
     let cfg = Unikernel.config ~aslr:(mode <> Vm_config.Rando_off) () in
@@ -1016,6 +1123,7 @@ let ablation_unikernel ?(runs = 20) ws =
         ~seed ()
     in
     let s = Boot_runner.boot_many ~arena:(Workspace.arena ws) ~runs ~cache:(Workspace.cache ws) ~make_vm () in
+    rows := boot_row name s :: !rows;
     (* layout diversity across instances *)
     let bases = Hashtbl.create 32 in
     for i = 1 to 20 do
@@ -1056,6 +1164,7 @@ let ablation_unikernel ?(runs = 20) ws =
            only principal that can randomize at all"
           (aslr_ms -. base_ms) base_ms;
       ];
+    telemetry = List.rev !rows;
   }
 
 let ablation_zygote ?(runs = 10) ws =
@@ -1135,6 +1244,12 @@ let ablation_zygote ?(runs = 10) ws =
           (fresh_ms /. restore_ms)
           (Imk_util.Units.bytes_to_string (Zygote.memory_bytes pool));
       ];
+    telemetry =
+      [
+        boot_row "fresh-boot" fresh;
+        scalar_row "snapshot-restore" (restore_ms *. 1e6);
+        scalar_row "zygote-draw" (draw_ms *. 1e6);
+      ];
   }
 
 (* ---------- Fault-injection campaign ---------- *)
@@ -1195,7 +1310,20 @@ let faults ?(runs = 20) ws =
     { S.cache = Imk_storage.Page_cache.create disk; inject }
   in
   let silent_total = ref 0 and fault_runs = ref 0 in
+  let rows = ref [] in
   let add_row ~path ~fault_label ~fault_armed (reports : S.report array) =
+    if Array.length reports > 0 then
+      rows :=
+        {
+          label = path ^ "/" ^ fault_label;
+          total =
+            Imk_util.Stats.summarize
+              (Array.to_list
+                 (Array.map (fun (r : S.report) -> float_of_int r.S.total_ns)
+                    reports));
+          phases = [];
+        }
+        :: !rows;
     let ok = ref 0 and recovered = ref 0 and failed = ref 0 in
     let retries = ref 0 and silent = ref 0 in
     let kinds = ref [] and total = ref 0. in
@@ -1320,6 +1448,7 @@ let faults ?(runs = 20) ws =
          cold-boot fallbacks are charged to the virtual clock in their own \
          spans (retry-backoff, rederive-relocs, snapshot-load)";
       ];
+    telemetry = List.rev !rows;
   }
 
 let all_ids =

@@ -5,11 +5,32 @@
     [runs] defaults to 20 per configuration; the paper used 100, and
     [bench/main.exe --runs 100] reproduces that. *)
 
+type boot_row = {
+  label : string;
+      (** stable row key: every key cell of the table row, numeric ones
+          included, joined with ["/"] — e.g. ["aws/kaslr/lz4"],
+          ["aws/kaslr/256M"]. Dropping numeric key cells (an old bug)
+          made sweep points collapse onto one label and silently shadow
+          each other in the JSON. *)
+  total : Imk_util.Stats.summary;  (** nanoseconds, across the runs *)
+  phases : (string * Imk_util.Stats.summary) list;
+      (** per-phase nanosecond summaries ("in-monitor", "bootstrap",
+          "decompression", "linux-boot" — or finer span labels for
+          span-level experiments like fig5). Phases the boot path never
+          entered are absent, not zero-padded; the present phases' means
+          sum to [total.mean] up to per-run phase dropout. *)
+}
+
 type output = {
   id : string;  (** "table1", "fig3", ... *)
   title : string;
   table : Imk_util.Table.t;
   notes : string list;  (** derived claims, paper-vs-measured *)
+  telemetry : boot_row list;
+      (** the raw per-label distributions behind the table, fed to
+          {!Telemetry} as floats — never re-parsed from the rendered
+          cells. Empty for experiments without boot-time rows (table1,
+          fig11, security, page-sharing). *)
 }
 
 val table1 : Workspace.t -> output

@@ -24,8 +24,16 @@ let percentile sorted p =
 let summarize_array xs =
   let n = Array.length xs in
   if n = 0 then invalid_arg "Stats.summarize: no samples";
+  (* NaN poisons every moment and breaks the sort's total order;
+     infinities make mean/stddev meaningless. A non-finite sample is a
+     measurement bug upstream — refuse it rather than average it. *)
+  Array.iter
+    (fun x ->
+      if not (Float.is_finite x) then
+        invalid_arg "Stats.summarize: non-finite sample")
+    xs;
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let sum = Array.fold_left ( +. ) 0. xs in
   let mean = sum /. float_of_int n in
   let var =

@@ -16,8 +16,12 @@ type summary = {
 }
 
 val summarize : float list -> summary
-(** [summarize xs] computes a [summary] of the samples. Raises
-    [Invalid_argument] on the empty list. *)
+(** [summarize xs] computes a [summary] of the samples. [stddev] is the
+    population standard deviation (divide by [n], not [n - 1]) — the
+    samples are the whole run set, not a draw from a larger one. Raises
+    [Invalid_argument] on the empty list and on any non-finite sample
+    (NaN or infinity): a non-finite measurement is an upstream bug and
+    must not be averaged into telemetry. *)
 
 val summarize_array : float array -> summary
 (** [summarize_array xs] is [summarize] over an array (not modified). *)

@@ -70,4 +70,19 @@ $f
   fi
 done
 
+# Telemetry must flow as raw floats from Experiments.output to the
+# BENCH_<exp>.json writer. Re-parsing numbers out of rendered table
+# cells is the bug class behind the old value_column heuristic (any
+# header ending in "ms" — "atoms", "programs" — got read as
+# milliseconds), so float-from-string conversion is banned in
+# lib/harness/ outright: parsing belongs in Imk_util.Minjson, rendering
+# in Imk_util.Table, and the harness passes structured summaries
+# between them.
+for f in $(find lib/harness -name '*.ml' 2>/dev/null | sort); do
+  if grep -n 'float_of_string' "$f"; then
+    echo "lint: $f parses floats from strings; feed telemetry raw floats instead" >&2
+    status=1
+  fi
+done
+
 exit "$status"

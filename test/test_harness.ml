@@ -137,25 +137,226 @@ let test_ms_keeps_fractional_ns () =
   check (Alcotest.float 1e-15) "fractional ns survive" 1.5e-6
     (Boot_runner.ms s)
 
+let contains haystack needle =
+  let rec go i =
+    i + String.length needle <= String.length haystack
+    && (String.sub haystack i (String.length needle) = needle || go (i + 1))
+  in
+  go 0
+
 let test_telemetry_json () =
   let o = Experiments.fig6 ~runs:2 (small_ws ()) in
+  let rows = Telemetry.rows o in
+  check int "one row per method" 4 (List.length rows);
   let means = Telemetry.boot_means o in
   check int "one mean per row" 4 (List.length means);
   check Alcotest.bool "labelled" true (List.mem_assoc "lz4" means);
   let json =
     Telemetry.to_json ~experiment:"fig6" ~runs:2 ~jobs:1 ~scale:4
-      ~functions:(Some 50) ~wall_clock_s:0.25 means
+      ~functions:(Some 50) ~wall_clock_s:0.25 rows
   in
-  let has needle =
-    let rec go i =
-      i + String.length needle <= String.length json
-      && (String.sub json i (String.length needle) = needle || go (i + 1))
-    in
-    go 0
+  check Alcotest.bool "has wall clock" true
+    (contains json "\"wall_clock_s\": 0.250");
+  check Alcotest.bool "has experiment" true
+    (contains json "\"experiment\": \"fig6\"");
+  check Alcotest.bool "has label" true (contains json "\"label\": \"lz4\"");
+  check Alcotest.bool "has p99" true (contains json "\"p99_ms\"")
+
+(* ---- schema 2: round-trips, traps, duplicate labels, the gate ---- *)
+
+let mk_file ?(experiment = "x") rows =
+  {
+    Telemetry.schema = Telemetry.schema_version;
+    experiment;
+    runs = 3;
+    jobs = 1;
+    scale = 4;
+    functions = None;
+    wall_clock_s = 0.1;
+    rows;
+  }
+
+let render ?(experiment = "x") rows =
+  Telemetry.to_json ~experiment ~runs:3 ~jobs:1 ~scale:4 ~functions:None
+    ~wall_clock_s:0.1 rows
+
+let mk_row label samples phases =
+  {
+    Telemetry.label;
+    total = Imk_util.Stats.summarize samples;
+    phases = List.map (fun (p, s) -> (p, Imk_util.Stats.summarize s)) phases;
+  }
+
+let test_schema2_roundtrip () =
+  (* to_json -> of_json preserves every summary field to the emitted
+     %.6f ms precision, phases included *)
+  let o = Experiments.fig6 ~runs:2 (small_ws ()) in
+  let rows = Telemetry.rows o in
+  let f =
+    Telemetry.of_json
+      (Telemetry.to_json ~experiment:"fig6" ~runs:2 ~jobs:1 ~scale:4
+         ~functions:(Some 50) ~wall_clock_s:0.25 rows)
   in
-  check Alcotest.bool "has wall clock" true (has "\"wall_clock_s\": 0.250");
-  check Alcotest.bool "has experiment" true (has "\"experiment\": \"fig6\"");
-  check Alcotest.bool "has label" true (has "\"label\": \"lz4\"")
+  check int "schema" Telemetry.schema_version f.Telemetry.schema;
+  check Alcotest.string "experiment" "fig6" f.Telemetry.experiment;
+  check (Alcotest.option int) "functions" (Some 50) f.Telemetry.functions;
+  check int "row count" (List.length rows) (List.length f.Telemetry.rows);
+  List.iter2
+    (fun (a : Telemetry.row) (b : Telemetry.row) ->
+      check Alcotest.string "label" a.Telemetry.label b.Telemetry.label;
+      let close what x y = check (Alcotest.float 1e-5) what x y in
+      close "p50" a.Telemetry.total.Imk_util.Stats.p50
+        b.Telemetry.total.Imk_util.Stats.p50;
+      close "p99" a.Telemetry.total.Imk_util.Stats.p99
+        b.Telemetry.total.Imk_util.Stats.p99;
+      close "stddev" a.Telemetry.total.Imk_util.Stats.stddev
+        b.Telemetry.total.Imk_util.Stats.stddev;
+      check int "phase count"
+        (List.length a.Telemetry.phases)
+        (List.length b.Telemetry.phases);
+      (* phase means, weighted by how often each phase fired, recover
+         the headline total (absent phases are absent, never zero-padded) *)
+      let weighted (r : Telemetry.row) =
+        List.fold_left
+          (fun acc (_, (s : Imk_util.Stats.summary)) ->
+            acc
+            +. s.Imk_util.Stats.mean
+               *. float_of_int s.Imk_util.Stats.n
+               /. float_of_int r.Telemetry.total.Imk_util.Stats.n)
+          0. r.Telemetry.phases
+      in
+      close "phase sums = total" b.Telemetry.total.Imk_util.Stats.mean
+        (weighted b))
+    rows f.Telemetry.rows
+
+let test_schema2_empty_and_escaping () =
+  let f = Telemetry.of_json (render []) in
+  check int "no rows" 0 (List.length f.Telemetry.rows);
+  let wild = "aws/\"kaslr\"\n\tbs\\128M" in
+  let row = mk_row wild [ 1.0; 2.0; 3.0 ] [ ("in-monitor", [ 1.0 ]) ] in
+  let f = Telemetry.of_json (render [ row ]) in
+  match f.Telemetry.rows with
+  | [ r ] ->
+      check Alcotest.string "wild label round-trips" wild r.Telemetry.label;
+      check (Alcotest.float 1e-9) "p50" 2.0 r.Telemetry.total.Imk_util.Stats.p50
+  | rs -> Alcotest.failf "expected 1 row, got %d" (List.length rs)
+
+let test_duplicate_labels_rejected () =
+  let rows = [ mk_row "same" [ 1.0 ] []; mk_row "same" [ 2.0 ] [] ] in
+  check Alcotest.bool "to_json raises" true
+    (match render rows with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_schema1_rejected () =
+  (* a schema-1 file carried only means; reading it as distributions
+     must fail loudly, not fabricate percentiles *)
+  let v1 =
+    "{ \"schema\": 1, \"experiment\": \"fig9\", \"runs\": 20, \"jobs\": 1,\n\
+    \  \"scale\": 16, \"functions\": null, \"wall_clock_s\": 19.1,\n\
+    \  \"boot_ms\": [ { \"label\": \"aws/kaslr\", \"mean_ms\": 85.4 } ] }"
+  in
+  check Alcotest.bool "schema 1 refused" true
+    (match Telemetry.of_json v1 with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  check Alcotest.bool "garbage refused" true
+    (match Telemetry.of_json "{ \"schema\": 2, " with
+    | _ -> false
+    | exception Imk_util.Minjson.Malformed _ -> true)
+
+let test_value_column_traps () =
+  let vc = Telemetry.value_column in
+  check (Alcotest.option int) "atoms is not ms" None
+    (vc [ "kernel"; "atoms" ]);
+  check (Alcotest.option int) "programs is not ms" None
+    (vc [ "rando"; "programs"; "loss %" ]);
+  check (Alcotest.option int) "total ms preferred" (Some 2)
+    (vc [ "kernel"; "atoms"; "total ms"; "boot ms" ]);
+  check (Alcotest.option int) "boot ms fallback" (Some 1)
+    (vc [ "kernel"; "boot ms" ]);
+  check (Alcotest.option int) "token suffix matches" (Some 1)
+    (vc [ "kernel"; "restore ms" ]);
+  check (Alcotest.option int) "bare ms matches" (Some 0) (vc [ "ms" ])
+
+let test_baseline_gate () =
+  let rows =
+    [
+      mk_row "a" [ 10.0; 11.0; 12.0 ] [ ("in-monitor", [ 4.0; 4.5; 5.0 ]) ];
+      mk_row "b" [ 20.0; 21.0; 22.0 ] [];
+    ]
+  in
+  let current = mk_file rows in
+  (* self-diff: zero regressions *)
+  let self = Telemetry.diff ~baseline:current ~current () in
+  check int "no self regressions" 0 (List.length (Telemetry.regressions self));
+  check int "total+phase deltas" 3 (List.length self);
+  (* doctored baseline: halve label a's total p50 -> +100% regression *)
+  let doctored =
+    mk_file
+      [
+        mk_row "a" [ 5.0; 5.5; 6.0 ] [ ("in-monitor", [ 4.0; 4.5; 5.0 ]) ];
+        mk_row "b" [ 20.0; 21.0; 22.0 ] [];
+      ]
+  in
+  let deltas = Telemetry.diff ~baseline:doctored ~current () in
+  (match Telemetry.regressions deltas with
+  | [ d ] ->
+      check Alcotest.string "regressing label" "a" d.Telemetry.d_label;
+      check (Alcotest.option Alcotest.string) "headline total" None
+        d.Telemetry.d_phase;
+      check (Alcotest.float 1e-9) "+100%" 100.0 d.Telemetry.change_pct
+  | ds -> Alcotest.failf "expected 1 regression, got %d" (List.length ds));
+  (* a phase-only shift never trips the gate: same totals, slower phase *)
+  let phase_shift =
+    mk_file
+      [
+        mk_row "a" [ 10.0; 11.0; 12.0 ] [ ("in-monitor", [ 1.0; 1.5; 2.0 ]) ];
+        mk_row "b" [ 20.0; 21.0; 22.0 ] [];
+      ]
+  in
+  let deltas = Telemetry.diff ~baseline:phase_shift ~current () in
+  check int "phase deltas are diagnostic" 0
+    (List.length (Telemetry.regressions deltas));
+  (* label drift is reported, not silently ignored *)
+  let renamed = mk_file [ mk_row "c" [ 10.0 ] [] ] in
+  let only_base, only_cur =
+    Telemetry.missing_labels ~baseline:renamed ~current
+  in
+  check (Alcotest.list Alcotest.string) "only in baseline" [ "c" ] only_base;
+  check (Alcotest.list Alcotest.string) "only in current" [ "a"; "b" ] only_cur
+
+let test_trace_sink_fires () =
+  let ws = small_ws () in
+  Workspace.warm_all ws;
+  let vm =
+    Imk_monitor.Vm_config.make ~rando:Imk_monitor.Vm_config.Rando_off
+      ~kernel_path:(Workspace.vmlinux_path ws Config.Aws Config.Nokaslr)
+      ~kernel_config:(Workspace.config ws Config.Aws Config.Nokaslr)
+      ~mem_bytes:(64 * 1024 * 1024) ()
+  in
+  let count = ref 0 in
+  let seen_total = ref 0 in
+  Boot_runner.trace_sink :=
+    Some
+      (fun tr ->
+        incr count;
+        seen_total := Imk_vclock.Trace.total tr);
+  Fun.protect
+    ~finally:(fun () -> Boot_runner.trace_sink := None)
+    (fun () ->
+      let trace, _ =
+        Boot_runner.boot_once ~jitter:false ~seed:1L
+          ~cache:(Workspace.cache ws) vm
+      in
+      check int "sink fired once" 1 !count;
+      check int "sink saw the finished trace" (Imk_vclock.Trace.total trace)
+        !seen_total);
+  (* uninstalling restores the no-op default *)
+  ignore
+    (Boot_runner.boot_once ~jitter:false ~seed:2L ~cache:(Workspace.cache ws)
+       vm);
+  check int "no sink, no fire" 1 !count
 
 let test_boot_once_spans () =
   let ws = small_ws () in
@@ -270,7 +471,20 @@ let () =
           Alcotest.test_case "empty phase n=0" `Quick
             test_empty_phase_reports_zero_count;
           Alcotest.test_case "ms precision" `Quick test_ms_keeps_fractional_ns;
-          Alcotest.test_case "telemetry json" `Quick test_telemetry_json;
+          Alcotest.test_case "trace sink" `Quick test_trace_sink_fires;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "json" `Quick test_telemetry_json;
+          Alcotest.test_case "schema2 roundtrip" `Quick test_schema2_roundtrip;
+          Alcotest.test_case "empty + escaping" `Quick
+            test_schema2_empty_and_escaping;
+          Alcotest.test_case "duplicate labels" `Quick
+            test_duplicate_labels_rejected;
+          Alcotest.test_case "schema1 rejected" `Quick test_schema1_rejected;
+          Alcotest.test_case "value_column traps" `Quick
+            test_value_column_traps;
+          Alcotest.test_case "baseline gate" `Quick test_baseline_gate;
         ] );
       ( "experiments",
         [

@@ -102,6 +102,24 @@ let test_stats_empty_raises () =
   Alcotest.check_raises "empty" (Invalid_argument "Stats.summarize: no samples")
     (fun () -> ignore (Stats.summarize []))
 
+let test_stats_nonfinite_raises () =
+  let expect_raise what xs =
+    Alcotest.check_raises what
+      (Invalid_argument "Stats.summarize: non-finite sample") (fun () ->
+        ignore (Stats.summarize xs))
+  in
+  expect_raise "nan" [ 1.; Float.nan; 3. ];
+  expect_raise "inf" [ Float.infinity ];
+  expect_raise "neg inf" [ 2.; Float.neg_infinity ]
+
+let test_stats_sort_is_numeric () =
+  (* percentiles must come from a numeric sort; a polymorphic compare on
+     floats is structural and this ordering is its canary *)
+  let s = Stats.summarize [ 100.; 2.; 30.; -5.; 0.25 ] in
+  check (Alcotest.float 1e-9) "p50" 2. s.Stats.p50;
+  check (Alcotest.float 1e-9) "min" (-5.) s.Stats.min;
+  check (Alcotest.float 1e-9) "max" 100. s.Stats.max
+
 let test_pct_change () =
   check (Alcotest.float 1e-9) "up" 4. (Stats.pct_change 100. 104.);
   check (Alcotest.float 1e-9) "down" (-50.) (Stats.pct_change 100. 50.)
@@ -119,6 +137,44 @@ let test_units_time () =
   check (Alcotest.float 1e-9) "ns->ms" 1.5 (Units.ns_to_ms 1_500_000);
   check int "ms->ns" 2_000_000 (Units.ms_to_ns 2.);
   check Alcotest.string "pp_ms" "28.10 ms" (Units.ms_string 28_100_000)
+
+(* ---- Minjson: the BENCH_<exp>.json reader ---- *)
+
+let test_minjson_values () =
+  let j =
+    Minjson.parse
+      "{ \"a\": 1, \"b\": -2.5e1, \"s\": \"x\\n\\\"y\\\"\\u00e9\", \"l\": [ \
+       true, false, null ] }"
+  in
+  check int "int" 1 (Minjson.to_int (Minjson.member_exn "a" j));
+  check (Alcotest.float 1e-9) "exp float" (-25.)
+    (Minjson.to_float (Minjson.member_exn "b" j));
+  check Alcotest.string "escapes" "x\n\"y\"\xe9"
+    (Minjson.to_string (Minjson.member_exn "s" j));
+  check int "list" 3 (List.length (Minjson.to_list (Minjson.member_exn "l" j)));
+  check Alcotest.bool "missing member" true (Minjson.member "zz" j = None)
+
+let test_minjson_rejects () =
+  let bad what s =
+    check Alcotest.bool what true
+      (match Minjson.parse s with
+      | _ -> false
+      | exception Minjson.Malformed _ -> true)
+  in
+  bad "trailing garbage" "{} x";
+  bad "truncated object" "{ \"a\": 1,";
+  bad "unterminated string" "\"abc";
+  bad "bare word" "nope";
+  bad "lone minus" "-";
+  bad "non-latin1 escape" "\"\\u0400\"";
+  check Alcotest.bool "non-integral to_int" true
+    (match Minjson.to_int (Minjson.parse "1.5") with
+    | _ -> false
+    | exception Minjson.Malformed _ -> true);
+  check Alcotest.bool "to_float of string" true
+    (match Minjson.to_float (Minjson.parse "\"3\"") with
+    | _ -> false
+    | exception Minjson.Malformed _ -> true)
 
 let test_table_render () =
   let t = Table.create ~headers:[ "kernel"; "ms" ] in
@@ -153,6 +209,28 @@ let qcheck_stats_bounds =
       let s = Stats.summarize xs in
       s.Stats.min <= s.Stats.mean +. 1e-9 && s.Stats.mean <= s.Stats.max +. 1e-9)
 
+let qcheck_stats_percentiles_ordered =
+  (* monotone percentiles and either a raise (non-finite input) or a
+     fully finite summary — never a quietly poisoned one *)
+  QCheck.Test.make ~name:"percentiles ordered, non-finite rejected" ~count:200
+    (QCheck.make
+       ~print:QCheck.Print.(list float)
+       QCheck.Gen.(
+         list_size (1 -- 50)
+           (oneof [ float_bound_exclusive 1e6; return Float.nan ])))
+    (fun xs ->
+      QCheck.assume (xs <> []);
+      match Stats.summarize xs with
+      | s ->
+          List.for_all Float.is_finite
+            [ s.Stats.mean; s.Stats.stddev; s.Stats.p50; s.Stats.p90; s.Stats.p99 ]
+          && s.Stats.min <= s.Stats.p50 +. 1e-9
+          && s.Stats.p50 <= s.Stats.p90 +. 1e-9
+          && s.Stats.p90 <= s.Stats.p99 +. 1e-9
+          && s.Stats.p99 <= s.Stats.max +. 1e-9
+      | exception Invalid_argument _ ->
+          List.exists (fun x -> not (Float.is_finite x)) xs)
+
 let () =
   Alcotest.run "imk_util"
     [
@@ -182,10 +260,19 @@ let () =
           Alcotest.test_case "basic" `Quick test_stats_basic;
           Alcotest.test_case "singleton" `Quick test_stats_singleton;
           Alcotest.test_case "empty raises" `Quick test_stats_empty_raises;
+          Alcotest.test_case "non-finite raises" `Quick
+            test_stats_nonfinite_raises;
+          Alcotest.test_case "numeric sort" `Quick test_stats_sort_is_numeric;
           Alcotest.test_case "pct_change" `Quick test_pct_change;
           Alcotest.test_case "percentile interpolation" `Quick
             test_percentile_interpolates;
           QCheck_alcotest.to_alcotest qcheck_stats_bounds;
+          QCheck_alcotest.to_alcotest qcheck_stats_percentiles_ordered;
+        ] );
+      ( "minjson",
+        [
+          Alcotest.test_case "values" `Quick test_minjson_values;
+          Alcotest.test_case "rejects" `Quick test_minjson_rejects;
         ] );
       ( "units+table",
         [
