@@ -15,6 +15,9 @@
                                     dump one boot's span timeline in
                                     Chrome tracing format
      bench/main.exe --exp micro     only the Bechamel micro-benchmarks
+     bench/main.exe --no-plan-cache disable the shared boot-plan cache
+                                    (A/B baseline; telemetry is
+                                    bit-identical either way)
 
    Each experiment also writes BENCH_<id>.json (schema 2: wall-clock
    seconds plus per-row boot-time distributions and per-phase
@@ -28,11 +31,13 @@ let jobs = ref (Imk_util.Par.default_jobs ())
 let baseline_path = ref None
 let threshold = ref Imk_harness.Telemetry.default_threshold_pct
 let trace_path = ref None
+let no_plan_cache = ref false
 
 let usage () =
   prerr_endline
     "usage: main.exe [--exp <id>]... [--runs N] [--functions N] [--scale N] [--jobs N]\n\
      \               [--baseline BENCH_<id>.json] [--threshold PCT] [--trace out.json]\n\
+     \               [--no-plan-cache]\n\
      experiments: table1 fig3 fig4 fig5 fig6 fig9 fig10 fig11 qemu throughput security faults\n\
      \             ablation-kallsyms ablation-orc ablation-page-sharing ablation-rerando ablation-zygote ablation-unikernel ablation-devices micro all";
   exit 2
@@ -62,6 +67,9 @@ let rec parse = function
       parse rest
   | "--trace" :: v :: rest ->
       trace_path := Some v;
+      parse rest
+  | "--no-plan-cache" :: rest ->
+      no_plan_cache := true;
       parse rest
   | _ -> usage ()
 
@@ -209,7 +217,8 @@ let micro () =
       with Imk_kernel.Config.functions = 400;
     }
   in
-  let input = (Imk_kernel.Image.build (small_cfg ())).Imk_kernel.Image.vmlinux in
+  let built = Imk_kernel.Image.build (small_cfg ()) in
+  let input = built.Imk_kernel.Image.vmlinux in
   let sample = Bytes.sub input 0 (min (256 * 1024) (Bytes.length input)) in
   let codec_tests =
     List.concat_map
@@ -227,7 +236,6 @@ let micro () =
       [ Imk_compress.Lz4.codec; Imk_compress.Gzip.codec ]
   in
   let reloc_test =
-    let built = Imk_kernel.Image.build (small_cfg ()) in
     Test.make ~name:"kaslr-apply-relocs"
       (Staged.stage (fun () ->
            let mem = Imk_memory.Guest_mem.create ~size:(64 * 1024 * 1024) in
@@ -249,13 +257,20 @@ let micro () =
              (Imk_randomize.Fgkaslr.make_plan rng ~sections
                 ~text_base:Imk_memory.Addr.link_base)))
   in
+  (* the two derivations the boot-plan cache amortizes: what one cache
+     hit saves per boot, in real ns *)
   let elf_test =
     Test.make ~name:"elf-parse"
       (Staged.stage (fun () -> ignore (Imk_elf.Parser.parse input)))
   in
+  let relocs_decode_test =
+    let encoded = built.Imk_kernel.Image.relocs_bytes in
+    Test.make ~name:"relocs-decode"
+      (Staged.stage (fun () -> ignore (Imk_elf.Relocation.decode encoded)))
+  in
   let tests =
     Test.make_grouped ~name:"primitives" ~fmt:"%s/%s"
-      (codec_tests @ [ reloc_test; shuffle_test; elf_test ])
+      (codec_tests @ [ reloc_test; shuffle_test; elf_test; relocs_decode_test ])
   in
   let instances = [ Toolkit.Instance.monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
@@ -283,7 +298,8 @@ let () =
   Imk_harness.Boot_runner.default_jobs := !jobs;
   let requested = if !exps = [] then [ "all" ] else List.rev !exps in
   let ws =
-    Imk_harness.Workspace.create ~scale:!scale ?functions_override:!functions ()
+    Imk_harness.Workspace.create ~scale:!scale ?functions_override:!functions
+      ~plan_cache:(not !no_plan_cache) ()
   in
   List.iter
     (fun id ->

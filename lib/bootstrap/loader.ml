@@ -19,6 +19,22 @@ let default_policy =
 let stripped_policy =
   { kallsyms_fixup = false; orc_fixup = false; write_setup_data = false }
 
+type hooks = {
+  parse_vmlinux : bytes -> Imk_elf.Types.t;
+  decode_relocs : bytes -> Imk_elf.Relocation.table;
+  fn_sections : Imk_elf.Types.t -> (int * int) array;
+  kernel_info :
+    Imk_elf.Types.t -> Imk_kernel.Config.t -> Imk_guest.Boot_params.kernel_info;
+}
+
+let default_hooks =
+  {
+    parse_vmlinux = (fun b -> Imk_elf.Parser.parse b);
+    decode_relocs = Imk_elf.Relocation.decode;
+    fn_sections = Imk_randomize.Loadelf.fn_sections;
+    kernel_info = Imk_guest.Boot_params.kernel_info_of_elf;
+  }
+
 let setup_data_pa = Imk_guest.Boot_params.default_setup_data_pa
 let loader_stack_bytes = 64 * 1024
 let loader_bss_bytes = 128 * 1024
@@ -60,7 +76,8 @@ let section_actual_count mem ~pa ~what =
   | _ -> fail "implausible %s count" what
   | exception Guest_mem.Fault m -> fail "%s header unreadable: %s" what m
 
-let run ch mem ~bzimage ~staging_pa ~config ~rando ~policy ~rng =
+let run ?(hooks = default_hooks) ch mem ~bzimage ~staging_pa ~config ~rando
+    ~policy ~rng =
   ignore staging_pa;
   let cm = Charge.model ch in
   let open Imk_kernel in
@@ -118,7 +135,7 @@ let run ch mem ~bzimage ~staging_pa ~config ~rando ~policy ~rng =
   (* 3..6: parse, randomize, load, relocate — all Bootstrap Setup *)
   Charge.span ch Trace.Bootstrap_setup "loader-main" (fun () ->
       let elf =
-        try Imk_elf.Parser.parse vmlinux
+        try hooks.parse_vmlinux vmlinux
         with Imk_elf.Parser.Malformed m -> fail "kernel ELF: %s" m
       in
       Charge.pay ch
@@ -128,7 +145,7 @@ let run ch mem ~bzimage ~staging_pa ~config ~rando ~policy ~rng =
         if rando = Loader_off then Imk_elf.Relocation.empty
         else if Bytes.length relocs_bytes = 0 then
           fail "randomization requested but the image carries no relocations"
-        else Imk_elf.Relocation.decode relocs_bytes
+        else hooks.decode_relocs relocs_bytes
       in
       let phys_load = Addr.default_phys_load in
       let image_memsz = Imk_randomize.Loadelf.image_memsz elf in
@@ -149,7 +166,7 @@ let run ch mem ~bzimage ~staging_pa ~config ~rando ~policy ~rng =
       let plan =
         if not fg then None
         else begin
-          let sections = Imk_randomize.Loadelf.fn_sections elf in
+          let sections = hooks.fn_sections elf in
           if Array.length sections = 0 then
             fail "FGKASLR requires a kernel built with -ffunction-sections";
           (* copy text to the boot heap and back while shuffling *)
@@ -240,7 +257,7 @@ let run ch mem ~bzimage ~staging_pa ~config ~rando ~policy ~rng =
           end);
       (* the jump to startup_64 *)
       Trace.tracepoint (Charge.trace ch) Trace.Bootstrap_setup "jump-to-kernel";
-      let kernel_info = Imk_guest.Boot_params.kernel_info_of_elf elf config in
+      let kernel_info = hooks.kernel_info elf config in
       let kallsyms_fixed =
         (not fg) || policy.kallsyms_fixup
       in

@@ -48,7 +48,26 @@ val setup_data_pa : int
 (** Fixed guest-physical address of the setup-data blob (the real-mode
     data area at 0x90000). *)
 
+type hooks = {
+  parse_vmlinux : bytes -> Imk_elf.Types.t;
+  decode_relocs : bytes -> Imk_elf.Relocation.table;
+  fn_sections : Imk_elf.Types.t -> (int * int) array;
+  kernel_info :
+    Imk_elf.Types.t -> Imk_kernel.Config.t -> Imk_guest.Boot_params.kernel_info;
+}
+(** The loader's pure image-derivation steps, injectable so a monitor-side
+    plan cache can memoize them across boots of the same image. Every hook
+    must be observationally identical to its default (same results, same
+    typed exceptions on the same inputs): the loader still charges every
+    virtual-clock cost per boot, so hooks only change host wall clock. *)
+
+val default_hooks : hooks
+(** Uncached per-boot behaviour: [Imk_elf.Parser.parse],
+    [Imk_elf.Relocation.decode], [Imk_randomize.Loadelf.fn_sections],
+    [Imk_guest.Boot_params.kernel_info_of_elf]. *)
+
 val run :
+  ?hooks:hooks ->
   Imk_vclock.Charge.t ->
   Imk_memory.Guest_mem.t ->
   bzimage:Imk_kernel.Bzimage.t ->

@@ -22,7 +22,13 @@ let validate (t : Types.t) =
     Array.to_list t.sections
     |> List.filter (fun (s : Types.section) -> s.sh_type <> Types.sht_nobits)
     |> List.map (fun (s : Types.section) -> (s.offset, s.size, s.name))
-    |> List.sort compare
+    |> List.sort (fun (o1, s1, n1) (o2, s2, n2) ->
+           match Int.compare o1 o2 with
+           | 0 -> (
+               match Int.compare s1 s2 with
+               | 0 -> String.compare n1 n2
+               | c -> c)
+           | c -> c)
   in
   let rec check prev_end = function
     | [] -> ()

@@ -17,7 +17,7 @@ let trace_sink : (Trace.t -> unit) option ref = ref None
 let emit_trace trace =
   match !trace_sink with Some f -> f trace | None -> ()
 
-let boot_once ?(jitter = true) ?arena ?mem ~seed ~cache vm =
+let boot_once ?(jitter = true) ?arena ?mem ?plans ~seed ~cache vm =
   let clock = Clock.create () in
   let trace = Trace.create clock in
   let jitter_rng =
@@ -26,7 +26,7 @@ let boot_once ?(jitter = true) ?arena ?mem ~seed ~cache vm =
   in
   let ch = Charge.create ?jitter:jitter_rng trace Cost_model.default in
   let result =
-    Imk_monitor.Vmm.boot ?arena ?mem ch cache
+    Imk_monitor.Vmm.boot ?arena ?mem ?plans ch cache
       { vm with Imk_monitor.Vm_config.seed }
   in
   emit_trace trace;
@@ -35,8 +35,8 @@ let boot_once ?(jitter = true) ?arena ?mem ~seed ~cache vm =
 let warm_seed i = Int64.of_int (1000 + i)
 let run_seed i = Int64.of_int (2000 + i)
 
-let boot_many ?(warmups = 5) ?(cold = false) ?jobs ?arena ~runs ~cache ~make_vm
-    () =
+let boot_many ?(warmups = 5) ?(cold = false) ?jobs ?arena ?plans ~runs ~cache
+    ~make_vm () =
   let jobs = max 1 (Option.value ~default:!default_jobs jobs) in
   (* one full boot: returns its phase breakdown (as floats, the exact
      samples the sequential path has always recorded) and total, and
@@ -56,12 +56,12 @@ let boot_many ?(warmups = 5) ?(cold = false) ?jobs ?arena ~runs ~cache ~make_vm
       (breakdown, float_of_int (Trace.total trace))
     in
     match arena with
-    | None -> record (boot_once ~seed ~cache vm)
+    | None -> record (boot_once ?plans ~seed ~cache vm)
     | Some a ->
         (* bracketed borrow: a boot that raises (fault-injection runs)
            still hands its buffer back to the pool *)
         Imk_memory.Arena.with_buffer a ~size:vm.Imk_monitor.Vm_config.mem_bytes
-          (fun mem -> record (boot_once ~mem ~seed ~cache vm))
+          (fun mem -> record (boot_once ~mem ?plans ~seed ~cache vm))
   in
   (* recorded boots in run order (index i = run i+1, seed run_seed (i+1)) *)
   let recorded =

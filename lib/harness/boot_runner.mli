@@ -42,6 +42,7 @@ val boot_many :
   ?cold:bool ->
   ?jobs:int ->
   ?arena:Imk_memory.Arena.t ->
+  ?plans:Imk_monitor.Plan_cache.t ->
   runs:int ->
   cache:Imk_storage.Page_cache.t ->
   make_vm:(seed:int64 -> Imk_monitor.Vm_config.t) ->
@@ -61,7 +62,11 @@ val boot_many :
     page-cache clones primed by one sequential first boot, so the
     returned [phase_stats] are bit-identical for any [jobs] value.
     Phases that never ran report [Imk_util.Stats.empty] (n = 0) rather
-    than a fabricated zero sample. *)
+    than a fabricated zero sample.
+
+    [plans] shares a boot-plan cache across all the boots (and worker
+    domains — the cache synchronizes internally). Results are
+    bit-identical with or without it; only host wall clock changes. *)
 
 val warm_seed : int -> int64
 (** Seed of warmup boot [i] (1-based) — a pure function of the index,
@@ -76,6 +81,7 @@ val boot_once :
   ?jitter:bool ->
   ?arena:Imk_memory.Arena.t ->
   ?mem:Imk_memory.Guest_mem.t ->
+  ?plans:Imk_monitor.Plan_cache.t ->
   seed:int64 ->
   cache:Imk_storage.Page_cache.t ->
   Imk_monitor.Vm_config.t ->

@@ -4,9 +4,10 @@ module Failure = Imk_fault.Failure
 type ctx = {
   cache : Imk_storage.Page_cache.t;
   inject : (string -> unit) option;
+  plans : Imk_monitor.Plan_cache.t option;
 }
 
-let plain_ctx cache = { cache; inject = None }
+let plain_ctx ?plans cache = { cache; inject = None; plans }
 
 type report = {
   outcome : (Imk_guest.Runtime.verify_stats, Failure.t) result;
@@ -66,12 +67,14 @@ let supervise_on ch ?arena ~max_retries ~ctx (vm : Imk_monitor.Vm_config.t) =
     incr attempts;
     match arena with
     | None ->
-        (Imk_monitor.Vmm.boot ?inject:ctx.inject ch ctx.cache vm)
+        (Imk_monitor.Vmm.boot ?inject:ctx.inject ?plans:ctx.plans ch ctx.cache
+           vm)
           .Imk_monitor.Vmm.stats
     | Some a ->
         Imk_memory.Arena.with_buffer a ~size:vm.Imk_monitor.Vm_config.mem_bytes
           (fun mem ->
-            (Imk_monitor.Vmm.boot ?inject:ctx.inject ~mem ch ctx.cache vm)
+            (Imk_monitor.Vmm.boot ?inject:ctx.inject ?plans:ctx.plans ~mem ch
+               ctx.cache vm)
               .Imk_monitor.Vmm.stats)
   in
   let rederived = ref false in

@@ -27,9 +27,13 @@ type ctx = {
   cache : Imk_storage.Page_cache.t;  (** the run's (private) page cache *)
   inject : (string -> unit) option;
       (** armed transient hook ({!Imk_fault.Inject.armed}), if any *)
+  plans : Imk_monitor.Plan_cache.t option;
+      (** shared boot-plan cache; safe across runs and corruptions —
+          plans are content-addressed, so a corrupted image can never
+          resolve to a pristine image's plan (or vice versa) *)
 }
 
-val plain_ctx : Imk_storage.Page_cache.t -> ctx
+val plain_ctx : ?plans:Imk_monitor.Plan_cache.t -> Imk_storage.Page_cache.t -> ctx
 (** A context with no fault hook. *)
 
 type report = {

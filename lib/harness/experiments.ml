@@ -135,7 +135,7 @@ let fig3 ?(runs = 20) ws =
         in
         Workspace.warm_all ws;
         let s =
-          Boot_runner.boot_many ~arena:(Workspace.arena ws) ~runs ~cache:(Workspace.cache ws) ~make_vm ()
+          Boot_runner.boot_many ~arena:(Workspace.arena ws) ~runs ?plans:(Workspace.plans ws) ~cache:(Workspace.cache ws) ~make_vm ()
         in
         Imk_util.Table.add_row table
           [
@@ -181,7 +181,7 @@ let fig4 ?(runs = 20) ws =
       let run ~cold ~method_name make_vm =
         Workspace.warm_all ws;
         let s =
-          Boot_runner.boot_many ~arena:(Workspace.arena ws) ~cold ~runs ~cache:(Workspace.cache ws) ~make_vm ()
+          Boot_runner.boot_many ~arena:(Workspace.arena ws) ~cold ~runs ?plans:(Workspace.plans ws) ~cache:(Workspace.cache ws) ~make_vm ()
         in
         rows :=
           boot_row
@@ -244,7 +244,7 @@ let fig5 ?(runs = 10) ws =
         bz_vm ws preset Config.Nokaslr ~codec:"lz4" ~bz:Bzimage.Standard
           ~rando:Vm_config.Rando_off () ~seed:11L
       in
-      let trace, _ = Boot_runner.boot_once ~jitter:false ~seed:11L ~cache:(Workspace.cache ws) vm in
+      let trace, _ = Boot_runner.boot_once ~jitter:false ~seed:11L ?plans:(Workspace.plans ws) ~cache:(Workspace.cache ws) vm in
       let spans = Boot_runner.spans_by_label trace in
       let find label =
         Option.value ~default:0 (List.assoc_opt label spans)
@@ -297,7 +297,7 @@ let fig6 ?(runs = 20) ws =
   let rows = ref [] in
   let measure method_name make_vm =
     Workspace.warm_all ws;
-    let s = Boot_runner.boot_many ~arena:(Workspace.arena ws) ~runs ~cache:(Workspace.cache ws) ~make_vm () in
+    let s = Boot_runner.boot_many ~arena:(Workspace.arena ws) ~runs ?plans:(Workspace.plans ws) ~cache:(Workspace.cache ws) ~make_vm () in
     rows := boot_row method_name s :: !rows;
     Imk_util.Table.add_row table
       [
@@ -353,7 +353,7 @@ let fig9_cell ?jobs ws preset rando ~runs ~method_ =
         bz_vm ws preset variant ~codec:"none" ~bz:Bzimage.None_optimized ~rando ()
     | `Lz4 -> bz_vm ws preset variant ~codec:"lz4" ~bz:Bzimage.Standard ~rando ()
   in
-  Boot_runner.boot_many ?jobs ~arena:(Workspace.arena ws) ~runs ~cache:(Workspace.cache ws) ~make_vm ()
+  Boot_runner.boot_many ?jobs ~arena:(Workspace.arena ws) ~runs ?plans:(Workspace.plans ws) ~cache:(Workspace.cache ws) ~make_vm ()
 
 let fig9 ?(runs = 20) ws =
   let table =
@@ -486,7 +486,7 @@ let fig10 ?(runs = 5) ws =
                 direct_vm ws preset (variant_of_rando rando) ~rando ~mem ()
               in
               let s =
-                Boot_runner.boot_many ~arena:(Workspace.arena ws) ~runs ~cache:(Workspace.cache ws) ~make_vm ()
+                Boot_runner.boot_many ~arena:(Workspace.arena ws) ~runs ?plans:(Workspace.plans ws) ~cache:(Workspace.cache ws) ~make_vm ()
               in
               (* the memory size is a numeric key cell: it must stay in
                  the label or the four sweep points collapse onto one
@@ -533,7 +533,7 @@ let lebench_layout ws rando ~seed =
   Workspace.warm_all ws;
   let vm = direct_vm ws Config.Aws variant ~rando () ~seed in
   let trace, result =
-    Boot_runner.boot_once ~jitter:false ~seed ~cache:(Workspace.cache ws) vm
+    Boot_runner.boot_once ~jitter:false ~seed ?plans:(Workspace.plans ws) ~cache:(Workspace.cache ws) vm
   in
   let ch = Imk_vclock.Charge.create trace Imk_vclock.Cost_model.default in
   Imk_lebench.Runner.layout_of_guest ch result.Vmm.mem result.Vmm.params
@@ -588,7 +588,7 @@ let qemu_check ?(runs = 10) ws =
           (fun (mname, make_vm) ->
             Workspace.warm_all ws;
             let s =
-              Boot_runner.boot_many ~arena:(Workspace.arena ws) ~runs ~cache:(Workspace.cache ws) ~make_vm ()
+              Boot_runner.boot_many ~arena:(Workspace.arena ws) ~runs ?plans:(Workspace.plans ws) ~cache:(Workspace.cache ws) ~make_vm ()
             in
             rows :=
               boot_row (profile.Profiles.name ^ "/" ^ mname) s :: !rows;
@@ -658,7 +658,7 @@ let throughput ?(runs = 30) ws =
           (fun guest_mem ->
             let trace, _ =
               Boot_runner.boot_once ~mem:guest_mem ~seed
-                ~cache:(Workspace.cache ws) vm
+                ?plans:(Workspace.plans ws) ~cache:(Workspace.cache ws) vm
             in
             Imk_util.Units.ns_to_ms (Imk_vclock.Trace.total trace))
       in
@@ -761,7 +761,7 @@ let security ws =
     let variant = variant_of_rando rando in
     let vm = direct_vm ws Config.Aws variant ~rando () ~seed in
     let _, result =
-      Boot_runner.boot_once ~jitter:false ~seed ~cache:(Workspace.cache ws) vm
+      Boot_runner.boot_once ~jitter:false ~seed ?plans:(Workspace.plans ws) ~cache:(Workspace.cache ws) vm
     in
     let built = Workspace.built ws Config.Aws variant in
     let rng = Imk_entropy.Prng.create ~seed in
@@ -842,7 +842,7 @@ let ablation_kallsyms ?(runs = 20) ws =
       direct_vm ws Config.Aws Config.Fgkaslr ~rando:Vm_config.Rando_fgkaslr
         ~kallsyms:policy ()
     in
-    Boot_runner.boot_many ~arena:(Workspace.arena ws) ~runs ~cache:(Workspace.cache ws) ~make_vm ()
+    Boot_runner.boot_many ~arena:(Workspace.arena ws) ~runs ?plans:(Workspace.plans ws) ~cache:(Workspace.cache ws) ~make_vm ()
   in
   let eager = boot Vm_config.Kallsyms_eager in
   let deferred = boot Vm_config.Kallsyms_deferred in
@@ -854,7 +854,7 @@ let ablation_kallsyms ?(runs = 20) ws =
         ~kallsyms:Vm_config.Kallsyms_deferred () ~seed:61L
     in
     let trace, result =
-      Boot_runner.boot_once ~jitter:false ~seed:61L ~cache:(Workspace.cache ws) vm
+      Boot_runner.boot_once ~jitter:false ~seed:61L ?plans:(Workspace.plans ws) ~cache:(Workspace.cache ws) vm
     in
     let ch = Imk_vclock.Charge.create trace Imk_vclock.Cost_model.default in
     let before = Imk_vclock.Clock.now (Imk_vclock.Charge.clock ch) in
@@ -902,7 +902,7 @@ let ablation_orc ?(runs = 20) ws =
         ~relocs_path:(Some "aws-fgkaslr-orc.relocs") ~orc
         ~kernel_path:"aws-fgkaslr-orc.vmlinux" ~kernel_config:cfg ~seed ()
     in
-    Boot_runner.boot_many ~arena:(Workspace.arena ws) ~runs ~cache:(Workspace.cache ws) ~make_vm ()
+    Boot_runner.boot_many ~arena:(Workspace.arena ws) ~runs ?plans:(Workspace.plans ws) ~cache:(Workspace.cache ws) ~make_vm ()
   in
   let skip = boot Vm_config.Orc_skip in
   let update = boot Vm_config.Orc_update in
@@ -926,7 +926,7 @@ let ablation_page_sharing ws =
       direct_vm ws Config.Aws Config.Fgkaslr ~rando:Vm_config.Rando_fgkaslr ()
         ~seed
     in
-    let _, r = Boot_runner.boot_once ~jitter:false ~seed ~cache:(Workspace.cache ws) vm in
+    let _, r = Boot_runner.boot_once ~jitter:false ~seed ?plans:(Workspace.plans ws) ~cache:(Workspace.cache ws) vm in
     r
   in
   (* KSM-style content-based sharing over the pages that hold each
@@ -990,7 +990,7 @@ let ablation_rerando ?(runs = 20) ws =
   let rows = ref [] in
   let measure name make_vm ~reboot =
     Workspace.warm_all ws;
-    let s = Boot_runner.boot_many ~arena:(Workspace.arena ws) ~runs ~cache:(Workspace.cache ws) ~make_vm () in
+    let s = Boot_runner.boot_many ~arena:(Workspace.arena ws) ~runs ?plans:(Workspace.plans ws) ~cache:(Workspace.cache ws) ~make_vm () in
     rows := boot_row name s :: !rows;
     let boot_ms = msf s.Boot_runner.total in
     let per_invocation =
@@ -1054,7 +1054,7 @@ let ablation_devices ?(runs = 20) ws =
         ~kernel_config:(Workspace.config ws Config.Aws Config.Kaslr)
         ~seed ()
     in
-    let s = Boot_runner.boot_many ~arena:(Workspace.arena ws) ~runs ~cache:(Workspace.cache ws) ~make_vm () in
+    let s = Boot_runner.boot_many ~arena:(Workspace.arena ws) ~runs ?plans:(Workspace.plans ws) ~cache:(Workspace.cache ws) ~make_vm () in
     rows := boot_row (profile.Profiles.name ^ "/" ^ label) s :: !rows;
     Imk_util.Table.add_row table
       [
@@ -1122,14 +1122,14 @@ let ablation_unikernel ?(runs = 20) ws =
         ~kernel_path:kernel ~kernel_config:{ cfg with Config.name = cfg.Config.name }
         ~seed ()
     in
-    let s = Boot_runner.boot_many ~arena:(Workspace.arena ws) ~runs ~cache:(Workspace.cache ws) ~make_vm () in
+    let s = Boot_runner.boot_many ~arena:(Workspace.arena ws) ~runs ?plans:(Workspace.plans ws) ~cache:(Workspace.cache ws) ~make_vm () in
     rows := boot_row name s :: !rows;
     (* layout diversity across instances *)
     let bases = Hashtbl.create 32 in
     for i = 1 to 20 do
       let _, r =
         Boot_runner.boot_once ~jitter:false ~seed:(Int64.of_int (50 + i))
-          ~cache:(Workspace.cache ws) (make_vm ~seed:(Int64.of_int (50 + i)))
+          ?plans:(Workspace.plans ws) ~cache:(Workspace.cache ws) (make_vm ~seed:(Int64.of_int (50 + i)))
       in
       Hashtbl.replace bases r.Vmm.params.Imk_guest.Boot_params.virt_base ()
     done;
@@ -1185,7 +1185,7 @@ let ablation_zygote ?(runs = 10) ws =
   let working_set_pages = 2048 (* 8 MiB touched before first request *) in
   (* fresh boots *)
   let fresh =
-    Boot_runner.boot_many ~arena:(Workspace.arena ws) ~runs:10 ~cache:(Workspace.cache ws) ~make_vm ()
+    Boot_runner.boot_many ~arena:(Workspace.arena ws) ~runs:10 ?plans:(Workspace.plans ws) ~cache:(Workspace.cache ws) ~make_vm ()
   in
   let fresh_ms = msf fresh.Boot_runner.total in
   Imk_util.Table.add_row table
@@ -1196,7 +1196,10 @@ let ablation_zygote ?(runs = 10) ws =
     Imk_vclock.Charge.create trace Imk_vclock.Cost_model.default
   in
   let ch = charge () in
-  let base = Vmm.boot ch (Workspace.cache ws) (make_vm ~seed:404L) in
+  let base =
+    Vmm.boot ?plans:(Workspace.plans ws) ch (Workspace.cache ws)
+      (make_vm ~seed:404L)
+  in
   let snap = Snapshot.capture base in
   let restore_ms =
     let ch = charge () in
@@ -1307,7 +1310,12 @@ let faults ?(runs = 20) ws =
           (I.arm k ~seed:(fault_seed run) ~disk ~kernel_path ?relocs_path ())
             .I.inject
     in
-    { S.cache = Imk_storage.Page_cache.create disk; inject }
+    (* the plan cache is deliberately shared across runs and faults:
+       content addressing must keep corrupted images from ever resolving
+       to a pristine image's plan, and this campaign is the proof *)
+    { S.cache = Imk_storage.Page_cache.create disk;
+      inject;
+      plans = Workspace.plans ws }
   in
   let silent_total = ref 0 and fault_runs = ref 0 in
   let rows = ref [] in
@@ -1402,7 +1410,10 @@ let faults ?(runs = 20) ws =
   let snap_blob =
     let trace = Imk_vclock.Trace.create (Imk_vclock.Clock.create ()) in
     let ch = Imk_vclock.Charge.create trace Imk_vclock.Cost_model.default in
-    let base = Vmm.boot ch (Workspace.cache ws) (direct_vmcfg ~seed:404L) in
+    let base =
+      Vmm.boot ?plans:(Workspace.plans ws) ch (Workspace.cache ws)
+        (direct_vmcfg ~seed:404L)
+    in
     Snapshot.serialize (Snapshot.capture base)
   in
   let snap_path = "base.snapshot" in
@@ -1419,7 +1430,10 @@ let faults ?(runs = 20) ws =
               direct_files;
             Imk_storage.Disk.add disk ~name:snap_path
               (corrupt ~seed:(fault_seed run) snap_blob);
-            let ctx = S.plain_ctx (Imk_storage.Page_cache.create disk) in
+            let ctx =
+              S.plain_ctx ?plans:(Workspace.plans ws)
+                (Imk_storage.Page_cache.create disk)
+            in
             S.supervise_snapshot ~seed ~ctx ~snapshot_path:snap_path
               ~working_set_pages:2048 (direct_vmcfg ~seed))
       in

@@ -4,18 +4,20 @@ type t = {
   disk : Imk_storage.Disk.t;
   cache : Imk_storage.Page_cache.t;
   arena : Imk_memory.Arena.t;
+  plans : Imk_monitor.Plan_cache.t option;
   scale : int;
   functions_override : int option;
   builds : (string, Image.built) Hashtbl.t;
   bzimages : (string, unit) Hashtbl.t;
 }
 
-let create ?(scale = 16) ?functions_override () =
+let create ?(scale = 16) ?functions_override ?(plan_cache = true) () =
   let disk = Imk_storage.Disk.create () in
   {
     disk;
     cache = Imk_storage.Page_cache.create disk;
     arena = Imk_memory.Arena.create ();
+    plans = (if plan_cache then Some (Imk_monitor.Plan_cache.create ()) else None);
     scale;
     functions_override;
     builds = Hashtbl.create 16;
@@ -25,13 +27,17 @@ let create ?(scale = 16) ?functions_override () =
 let disk t = t.disk
 let cache t = t.cache
 let arena t = t.arena
+let plans t = t.plans
 
 let clone_fresh t =
-  (* same kernel matrix parameters, nothing built yet; the arena is
-     shared — it is the one mutex-protected piece, and pooled buffers
-     are interchangeable across workspaces of equal mem size *)
+  (* same kernel matrix parameters, nothing built yet; the arena and the
+     plan cache are shared — both synchronize internally, pooled buffers
+     are interchangeable across workspaces of equal mem size, and plans
+     are content-addressed so a clone's independently built (byte-
+     identical) images resolve to the same immutable plans *)
   { (create ~scale:t.scale ?functions_override:t.functions_override ()) with
-    arena = t.arena }
+    arena = t.arena;
+    plans = t.plans }
 
 let config t preset variant =
   let base = Config.make ~scale:t.scale preset variant in

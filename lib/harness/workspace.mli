@@ -7,9 +7,12 @@
 
 type t
 
-val create : ?scale:int -> ?functions_override:int -> unit -> t
+val create : ?scale:int -> ?functions_override:int -> ?plan_cache:bool -> unit -> t
 (** [create ()] uses the full preset sizes; [functions_override] shrinks
-    every kernel (tests use a few hundred functions for speed). *)
+    every kernel (tests use a few hundred functions for speed).
+    [plan_cache] (default true) attaches a shared
+    {!Imk_monitor.Plan_cache}; [false] is the A/B baseline
+    (bench [--no-plan-cache]) — telemetry is bit-identical either way. *)
 
 val disk : t -> Imk_storage.Disk.t
 val cache : t -> Imk_storage.Page_cache.t
@@ -18,11 +21,17 @@ val arena : t -> Imk_memory.Arena.t
 (** The workspace's guest-memory recycling pool, passed to
     [Boot_runner.boot_many ~arena] by every experiment. *)
 
+val plans : t -> Imk_monitor.Plan_cache.t option
+(** The workspace's shared boot-plan cache (None under [--no-plan-cache]),
+    passed to [Boot_runner.boot_many ?plans] by every experiment. *)
+
 val clone_fresh : t -> t
 (** A new workspace with the same [scale]/[functions_override] but
-    nothing built, sharing only the (thread-safe) arena. Used to give
-    each worker domain its own disk/cache/build tables when experiments
-    parallelize across cells rather than across repetitions. *)
+    nothing built, sharing only the (thread-safe) arena and plan cache.
+    Used to give each worker domain its own disk/cache/build tables when
+    experiments parallelize across cells rather than across repetitions;
+    the content-addressed plan cache makes the clones' byte-identical
+    images share one set of immutable plans. *)
 
 val config : t -> Imk_kernel.Config.preset -> Imk_kernel.Config.variant -> Imk_kernel.Config.t
 

@@ -1,7 +1,16 @@
+(* Dirty bytes are tracked as a small bounded set of disjoint-ish ranges
+   rather than one envelope: a KASLR boot writes bootinfo pages low in the
+   guest and the relocated image wherever entropy placed it, and a single
+   [lo, hi) extent would span the gap and make recycling re-zero almost the
+   whole guest. A handful of ranges keeps [scrub] proportional to bytes
+   actually written. *)
+let max_ranges = 8
+
 type t = {
   data : bytes;
-  mutable dirty_lo : int;  (* lowest byte written since the last scrub *)
-  mutable dirty_hi : int;  (* one past the highest byte written *)
+  range_lo : int array;  (* [max_ranges] slots; first [nranges] are live *)
+  range_hi : int array;  (* one past the highest byte of each range *)
+  mutable nranges : int;
 }
 
 exception Fault of string
@@ -10,7 +19,12 @@ let fault fmt = Printf.ksprintf (fun s -> raise (Fault s)) fmt
 
 let create ~size =
   if size <= 0 then invalid_arg "Guest_mem.create: non-positive size";
-  { data = Bytes.make size '\000'; dirty_lo = max_int; dirty_hi = 0 }
+  {
+    data = Bytes.make size '\000';
+    range_lo = Array.make max_ranges 0;
+    range_hi = Array.make max_ranges 0;
+    nranges = 0;
+  }
 
 let size t = Bytes.length t.data
 
@@ -19,22 +33,68 @@ let check t pa len what =
     fault "%s at %#x+%d outside guest memory of %d bytes" what pa len
       (Bytes.length t.data)
 
-(* every mutation widens the dirty extent; scrubbing only has to erase
+(* every mutation lands in some dirty range; scrubbing only has to erase
    the bytes a boot actually touched, not the whole guest *)
 let touch t pa len =
   if len > 0 then begin
-    if pa < t.dirty_lo then t.dirty_lo <- pa;
-    if pa + len > t.dirty_hi then t.dirty_hi <- pa + len
+    let lo = pa and hi = pa + len in
+    let n = t.nranges in
+    let rec grow j =
+      if j >= n then false
+      else if lo <= t.range_hi.(j) && hi >= t.range_lo.(j) then begin
+        (* overlaps or abuts range [j]: widen it in place. The widened
+           range may now overlap a sibling; scrub just fills a few bytes
+           twice, which costs less than re-normalizing on every write. *)
+        if lo < t.range_lo.(j) then t.range_lo.(j) <- lo;
+        if hi > t.range_hi.(j) then t.range_hi.(j) <- hi;
+        true
+      end
+      else grow (j + 1)
+    in
+    if not (grow 0) then
+      if n < max_ranges then begin
+        t.range_lo.(n) <- lo;
+        t.range_hi.(n) <- hi;
+        t.nranges <- n + 1
+      end
+      else begin
+        (* out of slots: fold into the nearest range, over-approximating
+           the dirty set (never under — recycled buffers must come back
+           all-zero) while bounding tracker size *)
+        let best = ref 0 and best_gap = ref max_int in
+        for j = 0 to n - 1 do
+          let gap =
+            if lo > t.range_hi.(j) then lo - t.range_hi.(j)
+            else if hi < t.range_lo.(j) then t.range_lo.(j) - hi
+            else 0
+          in
+          if gap < !best_gap then begin
+            best_gap := gap;
+            best := j
+          end
+        done;
+        let j = !best in
+        if lo < t.range_lo.(j) then t.range_lo.(j) <- lo;
+        if hi > t.range_hi.(j) then t.range_hi.(j) <- hi
+      end
   end
 
-let dirty_extent t = if t.dirty_hi <= t.dirty_lo then None else Some (t.dirty_lo, t.dirty_hi)
+let dirty_extent t =
+  if t.nranges = 0 then None
+  else begin
+    let lo = ref max_int and hi = ref 0 in
+    for j = 0 to t.nranges - 1 do
+      if t.range_lo.(j) < !lo then lo := t.range_lo.(j);
+      if t.range_hi.(j) > !hi then hi := t.range_hi.(j)
+    done;
+    Some (!lo, !hi)
+  end
 
 let scrub t =
-  (match dirty_extent t with
-  | None -> ()
-  | Some (lo, hi) -> Bytes.fill t.data lo (hi - lo) '\000');
-  t.dirty_lo <- max_int;
-  t.dirty_hi <- 0
+  for j = 0 to t.nranges - 1 do
+    Bytes.fill t.data t.range_lo.(j) (t.range_hi.(j) - t.range_lo.(j)) '\000'
+  done;
+  t.nranges <- 0
 
 let write_bytes t ~pa b =
   check t pa (Bytes.length b) "write";

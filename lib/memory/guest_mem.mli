@@ -19,13 +19,16 @@ val size : t -> int
 val dirty_extent : t -> (int * int) option
 (** [dirty_extent t] is the smallest [(lo, hi)] half-open byte range
     covering every write since creation or the last {!scrub}, or [None]
-    if nothing was written. Taking {!raw} conservatively dirties the
+    if nothing was written. Internally writes are tracked as a small
+    bounded set of ranges (so a boot that dirties bootinfo pages low in
+    the guest and a randomized image high in it does not dirty the gap);
+    this returns their envelope. Taking {!raw} conservatively dirties the
     whole guest, since writes through it are invisible to the tracker. *)
 
 val scrub : t -> unit
-(** [scrub t] zeroes the dirty extent and resets it, restoring the
-    all-zero state of a fresh [create] while touching only the bytes a
-    previous user actually wrote — the cheap half of recycling guest
+(** [scrub t] zeroes every dirty range and resets the tracker, restoring
+    the all-zero state of a fresh [create] while touching only the bytes
+    a previous user actually wrote — the cheap half of recycling guest
     memory through {!Arena}. Real work only; virtual-clock zeroing
     charges are the boot path's business, exactly as for [create]. *)
 

@@ -121,17 +121,25 @@ let check_kaslr_note (elf : Imk_elf.Types.t) =
 
 (* --- direct (uncompressed vmlinux) boot --- *)
 
-let direct_boot ch cache (config : Vm_config.t) kernel_bytes mem ~phys_limit =
+let direct_boot ?plans ch cache (config : Vm_config.t) kernel_bytes mem
+    ~phys_limit =
   let cm = Charge.model ch in
-  let elf =
-    try Imk_elf.Parser.parse kernel_bytes
+  (* the plan is derived once per image content; the boot still pays the
+     full parse cost below — the cache only moves host CPU, never virtual
+     time (cache transparency, DESIGN.md §4) *)
+  let bplan =
+    try
+      match plans with
+      | Some t -> Plan_cache.elf_plan t ~path:config.kernel_path kernel_bytes
+      | None -> Plan_cache.build_elf_plan kernel_bytes
     with Imk_elf.Parser.Malformed m -> fail "kernel ELF: %s" m
   in
+  let elf = bplan.Plan_cache.elf in
   check_kaslr_note elf;
   Charge.pay ch
     (Cost_model.elf_parse_cost cm
        ~sections:(modeled config (Array.length elf.Imk_elf.Types.sections)));
-  let image_memsz = Imk_randomize.Loadelf.image_memsz elf in
+  let image_memsz = bplan.Plan_cache.image_memsz in
   if Addr.default_phys_load + image_memsz > phys_limit then
     fail "kernel (%d bytes in memory) does not fit in %d bytes of guest memory"
       image_memsz phys_limit;
@@ -150,7 +158,11 @@ let direct_boot ch cache (config : Vm_config.t) kernel_bytes mem ~phys_limit =
             (* a corrupt table propagates as the typed
                [Imk_elf.Relocation.Bad_table] so a supervisor can fall
                back to re-deriving the relocs from the ELF *)
-            match Imk_elf.Relocation.decode bytes with
+            match
+              match plans with
+              | Some t -> Plan_cache.relocs t ~path bytes
+              | None -> Imk_elf.Relocation.decode bytes
+            with
             | t when Imk_elf.Relocation.entry_count t = 0 ->
                 fail "relocs file %s is empty — kernel built without \
                       CONFIG_RELOCATABLE?" path
@@ -174,7 +186,7 @@ let direct_boot ch cache (config : Vm_config.t) kernel_bytes mem ~phys_limit =
   let plan =
     match rando with
     | Vm_config.Rando_fgkaslr ->
-        let sections = Imk_randomize.Loadelf.fn_sections elf in
+        let sections = bplan.Plan_cache.fn_sections in
         if Array.length sections = 0 then
           fail
             "in-monitor FGKASLR requires a kernel built with \
@@ -188,7 +200,7 @@ let direct_boot ch cache (config : Vm_config.t) kernel_bytes mem ~phys_limit =
   in
   (* one-pass placement: segments land at their final (displaced)
      location directly — no self-relocation copies (§5.2) *)
-  Imk_randomize.Loadelf.place mem elf ~phys_load ~plan;
+  Imk_randomize.Loadelf.place_list mem bplan.Plan_cache.alloc ~phys_load ~plan;
   let displace va =
     match plan with Some p -> Imk_randomize.Fgkaslr.displace p va | None -> va
   in
@@ -271,7 +283,7 @@ let direct_boot ch cache (config : Vm_config.t) kernel_bytes mem ~phys_limit =
     virt_base = Addr.link_base + delta;
     entry_va = displace elf.Imk_elf.Types.entry + delta;
     mem_bytes = Guest_mem.size mem;
-    kernel = Imk_guest.Boot_params.kernel_info_of_elf elf config.kernel_config;
+    kernel = Plan_cache.kernel_info plans bplan config.kernel_config;
     kallsyms_fixed = !kallsyms_fixed;
     orc_fixed;
     setup_data_pa =
@@ -281,12 +293,16 @@ let direct_boot ch cache (config : Vm_config.t) kernel_bytes mem ~phys_limit =
 
 (* --- bzImage boot --- *)
 
-(* in-monitor half: decode the header and stage the image in guest memory *)
-let stage_bzimage ch (config : Vm_config.t) kernel_bytes mem =
-  ignore config;
+(* in-monitor half: decode the header (cached per image content) and
+   stage the image in guest memory. The header-parse charge is paid per
+   boot whether or not the decode was cached. *)
+let stage_bzimage ?plans ch (config : Vm_config.t) kernel_bytes mem =
   let cm = Charge.model ch in
-  let bz =
-    try Imk_kernel.Bzimage.decode kernel_bytes
+  let bplan =
+    try
+      match plans with
+      | Some t -> Plan_cache.bz_plan t ~path:config.kernel_path kernel_bytes
+      | None -> Plan_cache.build_bz_plan kernel_bytes
     with Imk_kernel.Bzimage.Malformed m -> fail "bzImage: %s" m
   in
   Charge.pay ch 2_000 (* setup-header parse *);
@@ -295,10 +311,10 @@ let stage_bzimage ch (config : Vm_config.t) kernel_bytes mem =
   Guest_mem.write_bytes mem ~pa:staging_pa kernel_bytes;
   charge_page_tables ch;
   Charge.pay ch (int_of_float cm.Cost_model.vmm_entry_ns);
-  bz
+  bplan
 
 (* guest half: control transfers to the bootstrap loader *)
-let run_loader ch (config : Vm_config.t) bz mem =
+let run_loader ?plans ch (config : Vm_config.t) bplan mem =
   let rando =
     match config.rando with
     | Vm_config.Rando_off -> Imk_bootstrap.Loader.Loader_off
@@ -320,13 +336,14 @@ let run_loader ch (config : Vm_config.t) bz mem =
     }
   in
   let guest_rng = Imk_entropy.Prng.create ~seed:(Int64.add config.seed 101L) in
+  let hooks = Plan_cache.loader_hooks plans bplan in
   try
-    Imk_bootstrap.Loader.run ch mem ~bzimage:bz ~staging_pa
-      ~config:config.kernel_config ~rando ~policy ~rng:guest_rng
+    Imk_bootstrap.Loader.run ~hooks ch mem ~bzimage:bplan.Plan_cache.bz
+      ~staging_pa ~config:config.kernel_config ~rando ~policy ~rng:guest_rng
   with Imk_bootstrap.Loader.Loader_error m -> fail "bootstrap loader: %s" m
 
-let boot_on ?(inject = fun (_ : string) -> ()) ch cache (config : Vm_config.t)
-    mem =
+let boot_on ?(inject = fun (_ : string) -> ()) ?plans ch cache
+    (config : Vm_config.t) mem =
   let staged =
     Charge.span ch Trace.In_monitor "in-monitor" (fun () ->
         inject "vmm-init";
@@ -348,14 +365,16 @@ let boot_on ?(inject = fun (_ : string) -> ()) ch cache (config : Vm_config.t)
         let is_bzimage = not (Imk_elf.Parser.is_elf kernel_bytes) in
         validate_capabilities config ~is_bzimage;
         let phys_limit = setup_boot_info ch cache config mem in
-        if is_bzimage then `Bz (stage_bzimage ch config kernel_bytes mem)
-        else `Direct (direct_boot ch cache config kernel_bytes mem ~phys_limit))
+        if is_bzimage then `Bz (stage_bzimage ?plans ch config kernel_bytes mem)
+        else
+          `Direct
+            (direct_boot ?plans ch cache config kernel_bytes mem ~phys_limit))
   in
   (* bzImage boots leave In-Monitor before the loader runs *)
   let params =
     match staged with
     | `Direct p -> p
-    | `Bz bz -> run_loader ch config bz mem
+    | `Bz bplan -> run_loader ?plans ch config bplan mem
   in
   (* guest driver probes and the rootfs mount are part of the guest's
      boot (a separate top-level Linux Boot span; phase totals sum) *)
@@ -376,7 +395,7 @@ let boot_on ?(inject = fun (_ : string) -> ()) ch cache (config : Vm_config.t)
   let stats = Imk_guest.Linux_boot.run ch config.kernel_config mem params in
   { config; params; stats; mem }
 
-let boot ?arena ?mem ?inject ch cache (config : Vm_config.t) =
+let boot ?arena ?mem ?inject ?plans ch cache (config : Vm_config.t) =
   if config.mem_bytes < 32 * 1024 * 1024 then
     fail "guest memory too small (%d bytes)" config.mem_bytes;
   match mem with
@@ -386,18 +405,18 @@ let boot ?arena ?mem ?inject ch cache (config : Vm_config.t) =
       if Guest_mem.size m <> config.mem_bytes then
         fail "provided guest memory is %d bytes, config wants %d"
           (Guest_mem.size m) config.mem_bytes;
-      boot_on ?inject ch cache config m
+      boot_on ?inject ?plans ch cache config m
   | None -> (
       match arena with
       | None ->
-          boot_on ?inject ch cache config
+          boot_on ?inject ?plans ch cache config
             (Guest_mem.create ~size:config.mem_bytes)
       | Some a ->
           (* success hands [mem] to the caller (who releases it); a boot
              that raises must return the borrowed buffer itself or the
              arena leaks one buffer per injected fault *)
           let m = Arena.borrow a ~size:config.mem_bytes in
-          (try boot_on ?inject ch cache config m
+          (try boot_on ?inject ?plans ch cache config m
            with e ->
              Arena.release a m;
              raise e))

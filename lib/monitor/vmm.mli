@@ -52,6 +52,7 @@ val boot :
   ?arena:Imk_memory.Arena.t ->
   ?mem:Imk_memory.Guest_mem.t ->
   ?inject:(string -> unit) ->
+  ?plans:Plan_cache.t ->
   Imk_vclock.Charge.t ->
   Imk_storage.Page_cache.t ->
   Vm_config.t ->
@@ -78,4 +79,11 @@ val boot :
     [inject] is a fault-injection hook called at named phase points
     (currently ["vmm-init"], at the top of the In-Monitor span). It may
     raise — e.g. {!Transient} — to simulate a phase failure; production
-    callers simply omit it. *)
+    callers simply omit it.
+
+    [plans] consults a shared {!Plan_cache} for the image-derived boot
+    plan (parsed ELF, decoded relocs, section arrays, bzImage header)
+    instead of re-deriving it per boot. Observationally invisible: every
+    virtual-clock charge, telemetry row, failure and [verify_boot]
+    outcome is bit-identical with or without it (DESIGN.md §4) — only
+    host wall clock changes. *)

@@ -31,7 +31,7 @@ let layout ~order ~sections ~text_base =
       cursor := va + size.(original))
     order;
   let sorted_old = Array.init n (fun i -> i) in
-  Array.sort (fun a b -> compare old_va.(a) old_va.(b)) sorted_old;
+  Array.sort (fun a b -> Int.compare old_va.(a) old_va.(b)) sorted_old;
   { count = n; order; old_va; size; new_va; sorted_old }
 
 let make_plan rng ~sections ~text_base =
@@ -47,7 +47,7 @@ let plan_of_pairs pairs =
   let new_va = Array.map (fun (_, nv, _) -> nv) pairs in
   let size = Array.map (fun (_, _, s) -> s) pairs in
   let sorted_old = Array.init n (fun i -> i) in
-  Array.sort (fun a b -> compare old_va.(a) old_va.(b)) sorted_old;
+  Array.sort (fun a b -> Int.compare old_va.(a) old_va.(b)) sorted_old;
   { count = n; order; old_va; size; new_va; sorted_old }
 
 let identity_plan ~sections ~text_base =
@@ -112,7 +112,12 @@ let fixup_kallsyms mem ~pa plan =
         let new_sym_va = displace plan old_sym_va in
         (new_sym_va - link_base, id))
   in
-  Array.sort compare entries;
+  (* monomorphic lexicographic order — identical to polymorphic [compare]
+     on int tuples, minus the per-element dispatch in this hot sort *)
+  Array.sort
+    (fun (o1, i1) (o2, i2) ->
+      match Int.compare o1 o2 with 0 -> Int.compare i1 i2 | c -> c)
+    entries;
   Array.iteri
     (fun k (off, id) ->
       let off_pa = pa + header + (k * entry) in
@@ -141,7 +146,21 @@ let fixup_extab mem ~pa ~extab_va plan =
         let new_handler = displace plan handler_va in
         (new_fault, new_handler, fault_fn, handler_fn, fault_off))
   in
-  Array.sort compare entries;
+  Array.sort
+    (fun (a1, b1, c1, d1, e1) (a2, b2, c2, d2, e2) ->
+      match Int.compare a1 a2 with
+      | 0 -> (
+          match Int.compare b1 b2 with
+          | 0 -> (
+              match Int.compare c1 c2 with
+              | 0 -> (
+                  match Int.compare d1 d2 with
+                  | 0 -> Int.compare e1 e2
+                  | c -> c)
+              | c -> c)
+          | c -> c)
+      | c -> c)
+    entries;
   Array.iteri
     (fun k (fault_va, handler_va, fault_fn, handler_fn, fault_off) ->
       let off = header + (k * entry) in
@@ -168,7 +187,10 @@ let fixup_orc mem ~pa ~orc_va plan =
         let id = Guest_mem.get_u32 mem ~pa:(pa + off + 4) in
         (displace plan (entry_va + ip_disp), id))
   in
-  Array.sort compare entries;
+  Array.sort
+    (fun (v1, i1) (v2, i2) ->
+      match Int.compare v1 v2 with 0 -> Int.compare i1 i2 | c -> c)
+    entries;
   Array.iteri
     (fun k (ip_va, id) ->
       let off = header + (k * entry) in

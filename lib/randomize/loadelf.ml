@@ -9,7 +9,10 @@ let fn_sections (elf : Imk_elf.Types.t) =
     Array.to_list elf.sections
     |> List.filter Imk_elf.Types.is_function_section
     |> List.map (fun (s : Imk_elf.Types.section) -> (s.addr, s.size))
-    |> List.sort compare
+    |> List.sort (fun (va_a, sz_a) (va_b, sz_b) ->
+           match Int.compare va_a va_b with
+           | 0 -> Int.compare sz_a sz_b
+           | c -> c)
   in
   Array.of_list secs
 
@@ -29,7 +32,7 @@ let text_bytes elf =
       if s.flags land Imk_elf.Types.shf_execinstr <> 0 then acc + s.size else acc)
     0 (alloc_sections elf)
 
-let place mem elf ~phys_load ~plan =
+let place_list mem sections ~phys_load ~plan =
   let displaced va =
     match plan with None -> va | Some p -> Fgkaslr.displace p va
   in
@@ -41,4 +44,7 @@ let place mem elf ~phys_load ~plan =
         fail "section %s does not fit at pa %#x" s.name pa;
       if s.sh_type = Imk_elf.Types.sht_nobits then Guest_mem.zero mem ~pa ~len:s.size
       else Guest_mem.write_bytes mem ~pa s.data)
-    (alloc_sections elf)
+    sections
+
+let place mem elf ~phys_load ~plan =
+  place_list mem (alloc_sections elf) ~phys_load ~plan

@@ -14,6 +14,10 @@ val fn_sections : Imk_elf.Types.t -> (int * int) array
 (** [(link va, size)] of every [.text.<fn>] section, ascending by VA.
     Empty for kernels not built with -ffunction-sections. *)
 
+val alloc_sections : Imk_elf.Types.t -> Imk_elf.Types.section list
+(** The SHF_ALLOC sections in file order — the list {!place} walks.
+    Exposed so a boot-plan cache can derive it once per image. *)
+
 val image_memsz : Imk_elf.Types.t -> int
 (** Memory span of all allocatable sections (including NOBITS), from
     {!Imk_memory.Addr.link_base} to the last byte — what offset selection
@@ -34,3 +38,12 @@ val place :
     section's link VA, displaced by [plan] for function sections. NOBITS
     (.bss) regions are zeroed. Raises {!Load_error} if the image does not
     fit or sections fall outside memory. *)
+
+val place_list :
+  Imk_memory.Guest_mem.t ->
+  Imk_elf.Types.section list ->
+  phys_load:int ->
+  plan:Fgkaslr.plan option ->
+  unit
+(** {!place} over a precomputed {!alloc_sections} list (the cached-plan
+    path); the sections are only read, never mutated. *)

@@ -85,4 +85,17 @@ for f in $(find lib/harness -name '*.ml' 2>/dev/null | sort); do
   fi
 done
 
+# Polymorphic compare in the hot sorts of the randomization and ELF
+# layers costs a C call per comparison and (worse) silently "works" on
+# any type, hiding a key change. The layout/relocation sorts run on
+# every boot; they must spell out a monomorphic comparator
+# (Int.compare / String.compare on each field) instead of passing the
+# stdlib's `compare` to sort.
+for f in $(find lib/randomize lib/elf -name '*.ml' 2>/dev/null | sort); do
+  if grep -n 'sort\(_uniq\)\?[[:space:]]\+compare' "$f"; then
+    echo "lint: $f sorts with polymorphic compare; use a monomorphic comparator (Int.compare per field)" >&2
+    status=1
+  fi
+done
+
 exit "$status"

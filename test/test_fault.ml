@@ -124,6 +124,7 @@ let armed_ctx ?(files = []) ?kernel_path env kind ~seed =
   {
     Boot_supervisor.cache = Imk_storage.Page_cache.create disk;
     inject = armed.Inject.inject;
+    plans = None;
   }
 
 let plain_report ?(seed = 5L) () =

@@ -44,7 +44,7 @@ let charge () =
   (trace, Imk_vclock.Charge.create trace Imk_vclock.Cost_model.default)
 
 let boot ?(rando = Vm_config.Rando_kaslr) ?flavor ?kallsyms ?orc ?loader
-    ?(seed = 42L) ?(mem_bytes = 64 * 1024 * 1024) ?kernel_path ?relocs
+    ?plans ?(seed = 42L) ?(mem_bytes = 64 * 1024 * 1024) ?kernel_path ?relocs
     env =
   let kernel_path = Option.value ~default:(vmlinux_path env) kernel_path in
   let relocs_path =
@@ -58,5 +58,5 @@ let boot ?(rando = Vm_config.Rando_kaslr) ?flavor ?kallsyms ?orc ?loader
       ~mem_bytes ~kernel_path ~kernel_config:env.cfg ~seed ()
   in
   let trace, ch = charge () in
-  let result = Vmm.boot ch env.cache vm in
+  let result = Vmm.boot ?plans ch env.cache vm in
   (trace, result)
