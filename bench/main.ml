@@ -18,6 +18,10 @@
      bench/main.exe --no-plan-cache disable the shared boot-plan cache
                                     (A/B baseline; telemetry is
                                     bit-identical either way)
+     bench/main.exe --exp diffcheck --mutate
+                                    plant an off-by-one in the cross-path
+                                    oracle; the campaign must report it
+                                    caught and print a shrunk reproducer
 
    Each experiment also writes BENCH_<id>.json (schema 2: wall-clock
    seconds plus per-row boot-time distributions and per-phase
@@ -32,13 +36,14 @@ let baseline_path = ref None
 let threshold = ref Imk_harness.Telemetry.default_threshold_pct
 let trace_path = ref None
 let no_plan_cache = ref false
+let mutate = ref false
 
 let usage () =
   prerr_endline
     "usage: main.exe [--exp <id>]... [--runs N] [--functions N] [--scale N] [--jobs N]\n\
      \               [--baseline BENCH_<id>.json] [--threshold PCT] [--trace out.json]\n\
-     \               [--no-plan-cache]\n\
-     experiments: table1 fig3 fig4 fig5 fig6 fig9 fig10 fig11 qemu throughput security faults\n\
+     \               [--no-plan-cache] [--mutate]\n\
+     experiments: table1 fig3 fig4 fig5 fig6 fig9 fig10 fig11 qemu throughput security faults diffcheck\n\
      \             ablation-kallsyms ablation-orc ablation-page-sharing ablation-rerando ablation-zygote ablation-unikernel ablation-devices micro all";
   exit 2
 
@@ -70,6 +75,9 @@ let rec parse = function
       parse rest
   | "--no-plan-cache" :: rest ->
       no_plan_cache := true;
+      parse rest
+  | "--mutate" :: rest ->
+      mutate := true;
       parse rest
   | _ -> usage ()
 
@@ -183,6 +191,19 @@ let timed_experiment id
   let o = with_trace_capture id (fun () -> f ~runs:!runs ws) in
   let wall = Unix.gettimeofday () -. t0 in
   print_output o;
+  (* correctness campaigns (diffcheck) flag their failures in notes with
+     fixed markers; a flagged note must fail the invocation, not just
+     print — CI runs these as gates *)
+  let failing_note n =
+    let has_prefix p =
+      String.length n >= String.length p && String.sub n 0 (String.length p) = p
+    in
+    has_prefix "DIVERGENCE" || has_prefix "MUTATE NOT CAUGHT"
+  in
+  if List.exists failing_note o.Imk_harness.Experiments.notes then begin
+    gate_failed := true;
+    Printf.printf "  gate: %s reported a failing note\n" id
+  end;
   let rows = Imk_harness.Telemetry.rows o in
   (match
      ( rows,
@@ -313,6 +334,12 @@ let () =
             Imk_harness.Experiments.all_ids;
           micro ()
       | "micro" -> micro ()
+      (* --mutate only changes diffcheck, and only when asked: by_id keeps
+         the healthy catalogue for --exp all *)
+      | "diffcheck" when !mutate ->
+          timed_experiment "diffcheck"
+            (fun ?runs ws -> Imk_harness.Experiments.diffcheck ?runs ~mutate:true ws)
+            ws
       | id -> (
           match Imk_harness.Experiments.by_id id with
           | Some f -> timed_experiment id f ws

@@ -59,13 +59,13 @@ let method_ =
     value
     & opt
         (enum
-           [ ("direct", `Direct); ("lz4", `Lz4); ("none", `None);
-             ("none-opt", `None_opt) ])
+           [ ("direct", `Direct); ("lz4", `Lz4); ("gzip", `Gzip);
+             ("none", `None); ("none-opt", `None_opt) ])
         `Direct
     & info [ "method"; "m" ] ~docv:"METHOD"
-        ~doc:"Boot method: direct (uncompressed vmlinux), lz4 (bzImage), \
-              none (unoptimized compression-none bzImage), none-opt \
-              (optimized compression-none bzImage).")
+        ~doc:"Boot method: direct (uncompressed vmlinux), lz4 or gzip \
+              (bzImage), none (unoptimized compression-none bzImage), \
+              none-opt (optimized compression-none bzImage).")
 
 let mem_mib =
   Arg.(
@@ -120,6 +120,15 @@ let deferred_kallsyms =
     & info [ "deferred-kallsyms" ]
         ~doc:"Defer the FGKASLR kallsyms fixup to first access (§4.3).")
 
+let functions =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "functions" ] ~docv:"N"
+        ~doc:"Override every kernel's function count (the diffcheck \
+              shrinker's size knob — its reproducer commands carry this \
+              flag so the boot matches the minimized campaign point).")
+
 let jobs =
   Arg.(
     value
@@ -130,9 +139,9 @@ let jobs =
               count.")
 
 let run kernel rando method_ mem_mib runs seed cold vmm cmdline with_devices
-    trace_out deferred_kallsyms jobs =
+    trace_out deferred_kallsyms functions jobs =
   let preset, variant = kernel in
-  let ws = Imk_harness.Workspace.create () in
+  let ws = Imk_harness.Workspace.create ?functions_override:functions () in
   let kernel_config = Imk_harness.Workspace.config ws preset variant in
   let rando_mode =
     match rando with
@@ -149,6 +158,11 @@ let run kernel rando method_ mem_mib runs seed cold vmm cmdline with_devices
           None )
     | `Lz4 ->
         ( Imk_harness.Workspace.bzimage_path ws preset variant ~codec:"lz4"
+            ~bz:Imk_kernel.Bzimage.Standard,
+          None,
+          Some Imk_monitor.Vm_config.In_monitor_fgkaslr )
+    | `Gzip ->
+        ( Imk_harness.Workspace.bzimage_path ws preset variant ~codec:"gzip"
             ~bz:Imk_kernel.Bzimage.Standard,
           None,
           Some Imk_monitor.Vm_config.In_monitor_fgkaslr )
@@ -203,6 +217,7 @@ let run kernel rando method_ mem_mib runs seed cold vmm cmdline with_devices
     (match method_ with
     | `Direct -> "direct boot"
     | `Lz4 -> "bzImage/lz4"
+    | `Gzip -> "bzImage/gzip"
     | `None -> "bzImage/compression-none"
     | `None_opt -> "bzImage/none-optimized")
     profile.Imk_monitor.Profiles.name;
@@ -257,6 +272,7 @@ let cmd =
     (Cmd.info "fcsim" ~doc)
     Term.(
       const run $ kernel $ rando $ method_ $ mem_mib $ runs $ seed $ cold
-      $ vmm $ cmdline $ with_devices $ trace_out $ deferred_kallsyms $ jobs)
+      $ vmm $ cmdline $ with_devices $ trace_out $ deferred_kallsyms
+      $ functions $ jobs)
 
 let () = exit (Cmd.eval' cmd)

@@ -76,9 +76,22 @@ let section_actual_count mem ~pa ~what =
   | _ -> fail "implausible %s count" what
   | exception Guest_mem.Fault m -> fail "%s header unreadable: %s" what m
 
-let run ?(hooks = default_hooks) ch mem ~bzimage ~staging_pa ~config ~rando
-    ~policy ~rng =
+let run ?(hooks = default_hooks) ?choices ch mem ~bzimage ~staging_pa ~config
+    ~rando ~policy ~rng =
   ignore staging_pa;
+  (* a pinned entropy schedule (differential oracles) replaces only where
+     the random decisions come from; every cost charge and every byte of
+     data transformation below is unchanged *)
+  let virtual_rng () =
+    match choices with
+    | Some c -> Imk_randomize.Choices.virtual_rng c
+    | None -> rng
+  in
+  let shuffle_rng () =
+    match choices with
+    | Some c -> Imk_randomize.Choices.shuffle_rng c
+    | None -> rng
+  in
   let cm = Charge.model ch in
   let open Imk_kernel in
   let payload_len = Bytes.length bzimage.Bzimage.payload in
@@ -161,7 +174,8 @@ let run ?(hooks = default_hooks) ch mem ~bzimage ~staging_pa ~config ~rando
         | Loader_off -> 0
         | Loader_kaslr | Loader_fgkaslr ->
             Charge.pay ch (entropy_cost 2);
-            Imk_randomize.Kaslr.choose_virtual rng ~image_memsz - Addr.link_base
+            Imk_randomize.Kaslr.choose_virtual (virtual_rng ()) ~image_memsz
+            - Addr.link_base
       in
       let plan =
         if not fg then None
@@ -178,7 +192,7 @@ let run ?(hooks = default_hooks) ch mem ~bzimage ~staging_pa ~config ~rando
                (cm.Cost_model.section_shuffle_ns
                *. float_of_int (modeled config (Array.length sections))));
           Some
-            (Imk_randomize.Fgkaslr.make_plan rng ~sections
+            (Imk_randomize.Fgkaslr.make_plan (shuffle_rng ()) ~sections
                ~text_base:Addr.link_base)
         end
       in

@@ -68,6 +68,7 @@ val default_hooks : hooks
 
 val run :
   ?hooks:hooks ->
+  ?choices:Imk_randomize.Choices.t ->
   Imk_vclock.Charge.t ->
   Imk_memory.Guest_mem.t ->
   bzimage:Imk_kernel.Bzimage.t ->
@@ -84,4 +85,11 @@ val run :
     Raises {!Loader_error} for impossible requests (FGKASLR on a kernel
     without function sections, randomization without relocation info) and
     [Imk_randomize.Kaslr.Reloc_error] / [Imk_compress.Codec.Corrupt] on
-    corrupt inputs. *)
+    corrupt inputs.
+
+    [choices] pins the entropy schedule ({!Imk_randomize.Choices}): the
+    virtual-base and shuffle decisions come from the schedule's
+    per-decision streams instead of [rng]. Data transformations and
+    virtual-clock charges are unchanged — this is the differential
+    oracle's lever for booting the monitor and loader paths on identical
+    random decisions. Production boots omit it. *)

@@ -1,0 +1,45 @@
+(** Per-point boot environment for differential comparisons.
+
+    Splits the expensive and the cheap halves of environment setup so a
+    parallel campaign stays deterministic for any [--jobs] fan-out:
+    {!build} synthesizes the kernel images (the expensive part — call it
+    once per distinct point shape, on the calling domain), while
+    {!instantiate} stamps out a private disk + page cache from those
+    pristine bytes (cheap — call it per comparison, so no worker ever
+    shares mutable storage state with another). *)
+
+type images = {
+  cfg : Imk_kernel.Config.t;
+  vmlinux : bytes;
+  relocs : bytes;
+  bz_name : string;  (** disk name of the point's bzImage *)
+  bz_bytes : bytes;
+}
+
+val build : ?scale:int -> Point.t -> images
+(** [build point] builds the point's kernel and links its bzImage.
+    Deterministic in the point (the kernel's build seed derives from its
+    config name, as everywhere else). Default [scale] is 4 — the
+    integration-test size; the bench campaign passes its workspace
+    scale. *)
+
+type t = {
+  images : images;
+  cache : Imk_storage.Page_cache.t;
+  vmlinux_path : string;
+  relocs_path : string;
+  bz_path : string;
+}
+
+val instantiate : images -> t
+(** Fresh private disk and page cache over the pristine bytes. *)
+
+val direct_config : t -> Point.t -> Imk_monitor.Vm_config.t
+(** The monitor-path boot: uncompressed vmlinux, relocation file as the
+    Figure 8 extra argument, in-monitor randomization per the point. *)
+
+val bz_config : t -> Point.t -> Imk_monitor.Vm_config.t
+(** The loader-path boot of the same point: the bzImage self-bootstraps
+    and self-randomizes. Policies are aligned with {!direct_config} so
+    the two paths promise the same observable layout (eager kallsyms,
+    ORC skipped). *)

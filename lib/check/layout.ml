@@ -1,0 +1,117 @@
+type t = {
+  phys_load : int;
+  virt_base : int;
+  entry_va : int;
+  kallsyms_fixed : bool;
+  orc_fixed : bool;
+  stats : Imk_guest.Runtime.verify_stats;
+  fn_va : int array;
+  image : bytes;
+}
+
+(* an all-zero tail is indistinguishable from untouched memory (the
+   arena-scrub invariant leans on exactly that), so the comparable image
+   ends at its last nonzero byte — a snapshot restore that rewrites the
+   whole guest and a boot that only touched the image then extract the
+   same bytes *)
+let trim_zeros b =
+  let n = ref (Bytes.length b) in
+  while !n > 0 && Bytes.get b (!n - 1) = '\000' do
+    decr n
+  done;
+  Bytes.sub b 0 !n
+
+let of_result (r : Imk_monitor.Vmm.boot_result) =
+  let p = r.Imk_monitor.Vmm.params in
+  let phys_load = p.Imk_guest.Boot_params.phys_load in
+  let image =
+    match Imk_memory.Guest_mem.dirty_extent r.Imk_monitor.Vmm.mem with
+    | None -> invalid_arg "Layout.of_result: guest memory untouched"
+    | Some (_, hi) when hi <= phys_load ->
+        invalid_arg "Layout.of_result: nothing written at the load address"
+    | Some (_, hi) ->
+        trim_zeros
+          (Imk_memory.Guest_mem.read_bytes r.Imk_monitor.Vmm.mem
+             ~pa:phys_load ~len:(hi - phys_load))
+  in
+  {
+    phys_load;
+    virt_base = p.Imk_guest.Boot_params.virt_base;
+    entry_va = p.Imk_guest.Boot_params.entry_va;
+    kallsyms_fixed = p.Imk_guest.Boot_params.kallsyms_fixed;
+    orc_fixed = p.Imk_guest.Boot_params.orc_fixed;
+    stats = r.Imk_monitor.Vmm.stats;
+    fn_va = Imk_guest.Runtime.fn_layout r.Imk_monitor.Vmm.mem p;
+    image;
+  }
+
+let first_byte_diff a b =
+  let n = min (Bytes.length a) (Bytes.length b) in
+  let rec go i =
+    if i >= n then None
+    else if Bytes.get a i <> Bytes.get b i then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let first_va_diff a b =
+  let n = min (Array.length a) (Array.length b) in
+  let rec go i =
+    if i >= n then None else if a.(i) <> b.(i) then Some i else go (i + 1)
+  in
+  go 0
+
+let diff ?(compare_phys = false) a b =
+  let mismatch what pp x y =
+    Some (Printf.sprintf "%s: %s vs %s" what (pp x) (pp y))
+  in
+  let hex = Printf.sprintf "%#x" and num = string_of_int in
+  if compare_phys && a.phys_load <> b.phys_load then
+    mismatch "phys_load" hex a.phys_load b.phys_load
+  else if a.virt_base <> b.virt_base then
+    mismatch "virt_base" hex a.virt_base b.virt_base
+  else if a.entry_va <> b.entry_va then
+    mismatch "entry_va" hex a.entry_va b.entry_va
+  else if a.kallsyms_fixed <> b.kallsyms_fixed then
+    mismatch "kallsyms_fixed" string_of_bool a.kallsyms_fixed b.kallsyms_fixed
+  else if a.orc_fixed <> b.orc_fixed then
+    mismatch "orc_fixed" string_of_bool a.orc_fixed b.orc_fixed
+  else if a.stats <> b.stats then
+    Some
+      (Printf.sprintf
+         "verify stats: (fns %d sites %d rodata %d extab %d kallsyms %d orc \
+          %d) vs (fns %d sites %d rodata %d extab %d kallsyms %d orc %d)"
+         a.stats.Imk_guest.Runtime.functions_visited
+         a.stats.Imk_guest.Runtime.sites_verified
+         a.stats.Imk_guest.Runtime.rodata_verified
+         a.stats.Imk_guest.Runtime.extab_verified
+         a.stats.Imk_guest.Runtime.kallsyms_verified
+         a.stats.Imk_guest.Runtime.orc_verified
+         b.stats.Imk_guest.Runtime.functions_visited
+         b.stats.Imk_guest.Runtime.sites_verified
+         b.stats.Imk_guest.Runtime.rodata_verified
+         b.stats.Imk_guest.Runtime.extab_verified
+         b.stats.Imk_guest.Runtime.kallsyms_verified
+         b.stats.Imk_guest.Runtime.orc_verified)
+  else if Array.length a.fn_va <> Array.length b.fn_va then
+    mismatch "function count" num (Array.length a.fn_va)
+      (Array.length b.fn_va)
+  else
+    match first_va_diff a.fn_va b.fn_va with
+    | Some i ->
+        Some
+          (Printf.sprintf "fn %d placed at %#x vs %#x" i a.fn_va.(i)
+             b.fn_va.(i))
+    | None ->
+        if Bytes.length a.image <> Bytes.length b.image then
+          mismatch "image extent" num (Bytes.length a.image)
+            (Bytes.length b.image)
+        else (
+          match first_byte_diff a.image b.image with
+          | Some off ->
+              Some
+                (Printf.sprintf
+                   "image byte at load+%#x: %#04x vs %#04x" off
+                   (Char.code (Bytes.get a.image off))
+                   (Char.code (Bytes.get b.image off)))
+          | None -> None)

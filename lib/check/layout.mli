@@ -1,0 +1,34 @@
+(** The observable layout of one booted guest, in comparable form.
+
+    Everything the differential oracles assert equality over: where the
+    kernel landed virtually, the per-function randomized addresses, the
+    guest's own integrity-walk counters, and the raw image bytes relative
+    to the load address. Physical placement is captured but compared
+    separately — the monitor randomizes it while the bootstrap loader
+    always loads at the default physical base, and relocated bytes hold
+    absolute {e virtual} addresses, so cross-path equality is exactly
+    "same bytes at each side's own physical base". *)
+
+type t = {
+  phys_load : int;
+  virt_base : int;
+  entry_va : int;
+  kallsyms_fixed : bool;
+  orc_fixed : bool;
+  stats : Imk_guest.Runtime.verify_stats;
+  fn_va : int array;  (** randomized VA per function id *)
+  image : bytes;  (** guest bytes from [phys_load] to the dirty-extent top *)
+}
+
+val of_result : Imk_monitor.Vmm.boot_result -> t
+(** Extract the layout from a completed boot. The image extent is the
+    guest's dirty-extent envelope above the load address — boot info,
+    bzImage staging and setup data all live below it. *)
+
+val diff : ?compare_phys:bool -> t -> t -> string option
+(** [diff a b] is [None] when the layouts are equivalent, or a
+    description of the {e first} divergence (field, expected/actual, and
+    for image bytes the first differing offset). [compare_phys] (default
+    false) additionally requires equal physical load addresses — same-
+    path oracles (cache, snapshot, arena) set it; the cross-path oracle
+    does not. *)

@@ -1,0 +1,65 @@
+type t = {
+  preset : Imk_kernel.Config.preset;
+  variant : Imk_kernel.Config.variant;
+  codec : string;
+  functions : int;
+  seed : int64;
+}
+
+let rando t =
+  match t.variant with
+  | Imk_kernel.Config.Nokaslr -> Imk_monitor.Vm_config.Rando_off
+  | Imk_kernel.Config.Kaslr -> Imk_monitor.Vm_config.Rando_kaslr
+  | Imk_kernel.Config.Fgkaslr -> Imk_monitor.Vm_config.Rando_fgkaslr
+
+let name t =
+  Printf.sprintf "%s-%s/%s/f%d/s%Ld"
+    (Imk_kernel.Config.preset_name t.preset)
+    (Imk_kernel.Config.variant_name t.variant)
+    t.codec t.functions t.seed
+
+(* simplest first: the aligned uncompressed link skips both the
+   copy-out-of-the-way and decompression, so a divergence that survives
+   shrinking to "none-opt" has the smallest possible boot between the
+   seed and the comparison *)
+let codecs = [ "none-opt"; "none"; "lz4"; "gzip" ]
+
+let default_functions preset variant =
+  (Imk_kernel.Config.make preset variant).Imk_kernel.Config.functions
+
+let matrix ~seed ~functions =
+  List.concat_map
+    (fun preset ->
+      List.concat_map
+        (fun variant ->
+          (* one compressed and one uncompressed loader path per cell
+             keeps the campaign quadratic-free; the codec axis is
+             exercised fully by the shrinker's walk *)
+          List.map
+            (fun codec ->
+              let functions =
+                match functions with
+                | Some f -> f
+                | None -> default_functions preset variant
+              in
+              { preset; variant; codec; functions; seed })
+            [ "lz4"; "none-opt" ])
+        Imk_kernel.Config.all_variants)
+    Imk_kernel.Config.all_presets
+
+let rando_flag t =
+  match rando t with
+  | Imk_monitor.Vm_config.Rando_off -> "off"
+  | Imk_monitor.Vm_config.Rando_kaslr -> "kaslr"
+  | Imk_monitor.Vm_config.Rando_fgkaslr -> "fgkaslr"
+
+let fcsim_commands t =
+  let base meth =
+    Printf.sprintf
+      "dune exec bin/fcsim.exe -- --kernel %s-%s --rando %s --method %s \
+       --seed %Ld --functions %d"
+      (Imk_kernel.Config.preset_name t.preset)
+      (Imk_kernel.Config.variant_name t.variant)
+      (rando_flag t) meth t.seed t.functions
+  in
+  [ base "direct"; base t.codec ]

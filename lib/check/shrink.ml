@@ -1,0 +1,63 @@
+let min_functions = 8
+
+let index_of x xs =
+  let rec go i = function
+    | [] -> invalid_arg "Shrink.index_of"
+    | y :: _ when y = x -> i
+    | _ :: tl -> go (i + 1) tl
+  in
+  go 0 xs
+
+let preset_order =
+  [ Imk_kernel.Config.Lupine; Imk_kernel.Config.Aws; Imk_kernel.Config.Ubuntu ]
+
+let variant_order =
+  [ Imk_kernel.Config.Nokaslr; Imk_kernel.Config.Kaslr;
+    Imk_kernel.Config.Fgkaslr ]
+
+let earlier order x = List.filteri (fun i _ -> i < index_of x order) order
+
+let candidates (p : Point.t) =
+  let functions =
+    if p.Point.functions > min_functions then
+      let half = max min_functions (p.Point.functions / 2) in
+      let steps = [ half ] in
+      let steps =
+        if p.Point.functions - 1 <> half then steps @ [ p.Point.functions - 1 ]
+        else steps
+      in
+      List.map (fun functions -> { p with Point.functions }) steps
+    else []
+  in
+  let codecs =
+    List.map
+      (fun codec -> { p with Point.codec })
+      (earlier Point.codecs p.Point.codec)
+  in
+  let presets =
+    List.map
+      (fun preset -> { p with Point.preset })
+      (earlier preset_order p.Point.preset)
+  in
+  let variants =
+    List.map
+      (fun variant -> { p with Point.variant })
+      (earlier variant_order p.Point.variant)
+  in
+  let seeds = if p.Point.seed <> 0L then [ { p with Point.seed = 0L } ] else [] in
+  functions @ codecs @ presets @ variants @ seeds
+
+let minimize ?(max_steps = 64) still_fails p =
+  let rec go steps p =
+    if steps >= max_steps then p
+    else
+      match List.find_opt still_fails (candidates p) with
+      | None -> p
+      | Some simpler -> go (steps + 1) simpler
+  in
+  go 0 p
+
+let report p =
+  String.concat "\n"
+    (Printf.sprintf "minimal failing point: %s" (Point.name p)
+    :: List.map (fun c -> "  " ^ c) (Point.fcsim_commands p))

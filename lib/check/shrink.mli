@@ -1,0 +1,23 @@
+(** Greedy minimization of a failing campaign point.
+
+    Given a predicate "this point still fails its oracle", walk the
+    point toward the simplest one that still fails: fewer functions,
+    a cheaper image method, a smaller preset, randomization off, seed
+    zero. Every candidate is strictly simpler than its parent, so the
+    walk terminates; each step boots the candidate, so shrinking a real
+    divergence costs a handful of comparisons, not a sweep. *)
+
+val candidates : Point.t -> Point.t list
+(** Strictly-simpler neighbours of a point, most aggressive first
+    (halve the function count before decrementing it, jump the codec to
+    the front of {!Point.codecs}, …). Empty at the fully minimal
+    point. *)
+
+val minimize : ?max_steps:int -> (Point.t -> bool) -> Point.t -> Point.t
+(** [minimize still_fails p] greedily applies the first candidate the
+    predicate confirms, until none is confirmed (or [max_steps], default
+    64, safety-stops). [p] itself is assumed failing. *)
+
+val report : Point.t -> string
+(** Multi-line human report: the minimal point's label and the
+    ready-to-paste {!Point.fcsim_commands}. *)

@@ -250,6 +250,10 @@ let verify_orc mem params =
         count
       end
 
+let fn_layout mem params =
+  let _, _, fn_va = walk_functions mem params in
+  fn_va
+
 let verify_boot mem params =
   let functions_visited, sites_verified, _fn_va = walk_functions mem params in
   let rodata_verified = verify_rodata mem params in

@@ -22,6 +22,14 @@ type verify_stats = {
   orc_verified : int;  (** 0 when the table is absent or stale *)
 }
 
+val fn_layout : Imk_memory.Guest_mem.t -> Boot_params.t -> int array
+(** [fn_layout mem params] is the per-function randomized virtual address
+    (index = function id), recovered by the same pointer walk
+    {!verify_boot} performs. Two boots landed every function in the same
+    place iff their layouts are equal — the differential oracle's
+    (DESIGN.md §8) view of "same FGKASLR shuffle". Raises {!Panic} on a
+    mis-loaded kernel, like verification. *)
+
 val verify_boot : Imk_memory.Guest_mem.t -> Boot_params.t -> verify_stats
 (** [verify_boot mem params] walks the whole kernel. The call graph is
     strongly connected, so [functions_visited] must equal

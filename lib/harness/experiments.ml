@@ -1465,12 +1465,275 @@ let faults ?(runs = 20) ws =
     telemetry = List.rev !rows;
   }
 
+let diffcheck ?(runs = 20) ?(mutate = false) ws =
+  (* Differential-oracle campaign (DESIGN.md §8): sweep the kernel
+     matrix through the Imk_check catalogue, one point per run with a
+     run-pure seed, fanned over --jobs. Images are built once per
+     template on the calling domain (Workspace.built's table is not
+     thread-safe and diffcheck builds its own envs anyway); each
+     comparison instantiates a private disk and cache, so the table and
+     telemetry are bit-identical for any --jobs value. *)
+  let module O = Imk_check.Oracle in
+  let module P = Imk_check.Point in
+  let scale = Workspace.scale ws in
+  let templates =
+    List.map
+      (fun (p : P.t) ->
+        { p with
+          P.functions =
+            (Workspace.config ws p.P.preset p.P.variant).Config.functions })
+      (P.matrix ~seed:0L ~functions:None)
+  in
+  (* only the templates the run count will actually cycle through get
+     built; indexing by [i mod n_used] equals [i mod n_templates] in
+     both the runs < n and runs >= n cases *)
+  let n_used = min runs (List.length templates) in
+  let images =
+    Array.init n_used (fun i ->
+        let tpl = List.nth templates i in
+        (tpl, Imk_check.Env.build ~scale tpl))
+  in
+  let oracles = O.catalogue ~mutate in
+  let jobs = max 1 !Boot_runner.default_jobs in
+  let per_run =
+    Imk_util.Par.map_tasks ~jobs ~tasks:runs (fun ~worker:_ i ->
+        let tpl, imgs = images.(i mod n_used) in
+        let point = { tpl with P.seed = Boot_runner.run_seed (i + 1) } in
+        List.map (fun (o : O.t) -> (o.O.id, point, o.O.run imgs point)) oracles)
+  in
+  (* jobs-1 ≡ jobs-N: boot_many's rows must be bit-identical for any
+     fan-out. Runs on the calling domain — boot_many does its own
+     fan-out — and compares every field of every phase summary. *)
+  let fan = 4 in
+  let jobs_point, jobs_report =
+    let tpl, imgs =
+      let is_rep ((p : P.t), _) =
+        p.P.preset = Config.Aws && p.P.variant = Config.Kaslr
+        && p.P.codec = "lz4"
+      in
+      match Array.find_opt is_rep images with
+      | Some x -> x
+      | None -> images.(0)
+    in
+    let point = { tpl with P.seed = Boot_runner.run_seed 1 } in
+    let series (s : Boot_runner.phase_stats) =
+      List.concat_map
+        (fun (name, (sum : Imk_util.Stats.summary)) ->
+          [
+            (name ^ ".n", float_of_int sum.Imk_util.Stats.n);
+            (name ^ ".mean", sum.Imk_util.Stats.mean);
+            (name ^ ".min", sum.Imk_util.Stats.min);
+            (name ^ ".max", sum.Imk_util.Stats.max);
+            (name ^ ".stddev", sum.Imk_util.Stats.stddev);
+            (name ^ ".p50", sum.Imk_util.Stats.p50);
+            (name ^ ".p90", sum.Imk_util.Stats.p90);
+            (name ^ ".p99", sum.Imk_util.Stats.p99);
+          ])
+        [
+          ("in-monitor", s.Boot_runner.in_monitor);
+          ("bootstrap", s.Boot_runner.bootstrap);
+          ("decompression", s.Boot_runner.decompression);
+          ("linux-boot", s.Boot_runner.linux_boot);
+          ("total", s.Boot_runner.total);
+        ]
+    in
+    let report =
+      O.of_run
+        (fun imgs point ~note:_ ->
+          let env = Imk_check.Env.instantiate imgs in
+          let make_vm ~seed =
+            Imk_check.Env.direct_config env { point with P.seed = seed }
+          in
+          let stats_at jobs =
+            Boot_runner.boot_many ~warmups:2 ~jobs ~runs:5
+              ~cache:env.Imk_check.Env.cache ~make_vm ()
+          in
+          O.compare_series (series (stats_at 1)) (series (stats_at fan)))
+        imgs point
+    in
+    (point, report)
+  in
+  (* aggregation, in run order *)
+  let table =
+    Imk_util.Table.create
+      ~headers:[ "oracle"; "comparisons"; "pass"; "divergent"; "first divergence" ]
+  in
+  let truncate s =
+    if String.length s <= 72 then s else String.sub s 0 69 ^ "..."
+  in
+  let divergences = ref [] (* (oracle id, point, detail), reverse order *) in
+  let add_oracle_row id (reports : (P.t * O.report) list) =
+    let n = List.length reports in
+    let divergent =
+      List.filter
+        (fun (_, (r : O.report)) ->
+          match r.O.outcome with O.Pass -> false | O.Divergence _ -> true)
+        reports
+    in
+    (match divergent with
+    | (p, { O.outcome = O.Divergence d; _ }) :: _ ->
+        divergences := (id, p, d) :: !divergences
+    | _ -> ());
+    Imk_util.Table.add_row table
+      [
+        id;
+        string_of_int n;
+        string_of_int (n - List.length divergent);
+        string_of_int (List.length divergent);
+        (match divergent with
+        | (p, { O.outcome = O.Divergence d; _ }) :: _ ->
+            truncate (P.name p ^ ": " ^ d)
+        | _ -> "-");
+      ];
+    List.length divergent
+  in
+  let oracle_reports (o : O.t) =
+    Array.to_list per_run
+    |> List.concat_map
+         (List.filter_map (fun (id, p, r) ->
+              if id = o.O.id then Some (p, r) else None))
+  in
+  let divergent_total = ref 0 and comparisons = ref 0 in
+  List.iter
+    (fun (o : O.t) ->
+      let reports = oracle_reports o in
+      comparisons := !comparisons + List.length reports;
+      divergent_total := !divergent_total + add_oracle_row o.O.id reports)
+    oracles;
+  incr comparisons;
+  divergent_total :=
+    !divergent_total
+    + add_oracle_row (Printf.sprintf "jobs-1=%d" fan)
+        [ (jobs_point, jobs_report) ];
+  (* telemetry: per oracle, the virtual totals of every boot its
+     comparisons ran — per-boot-label distributions as phases *)
+  let telemetry =
+    List.filter_map
+      (fun (o : O.t) ->
+        let reports = oracle_reports o in
+        let all_ns =
+          List.concat_map
+            (fun (_, (r : O.report)) ->
+              List.map (fun (_, ns) -> float_of_int ns) r.O.boot_ns)
+            reports
+        in
+        if all_ns = [] then None
+        else
+          let labels =
+            List.fold_left
+              (fun acc (_, (r : O.report)) ->
+                List.fold_left
+                  (fun acc (lbl, _) ->
+                    if List.mem lbl acc then acc else acc @ [ lbl ])
+                  acc r.O.boot_ns)
+              [] reports
+          in
+          Some
+            {
+              label = o.O.id;
+              total = Imk_util.Stats.summarize all_ns;
+              phases =
+                List.map
+                  (fun lbl ->
+                    ( lbl,
+                      Imk_util.Stats.summarize
+                        (List.concat_map
+                           (fun (_, (r : O.report)) ->
+                             List.filter_map
+                               (fun (l, ns) ->
+                                 if l = lbl then Some (float_of_int ns)
+                                 else None)
+                               r.O.boot_ns)
+                           reports) ))
+                  labels;
+            })
+      oracles
+  in
+  (* the planted-fault protocol: --mutate must be CAUGHT, and the first
+     caught point shrinks to a ready-to-paste reproducer *)
+  let mutate_notes =
+    if not mutate then []
+    else
+      let cross =
+        Array.to_list per_run
+        |> List.concat_map
+             (List.filter_map (fun (id, p, (r : O.report)) ->
+                  if id = "cross-path" then Some (p, r.O.outcome) else None))
+      in
+      let caught =
+        List.filter
+          (fun (_, o) -> match o with O.Divergence _ -> true | O.Pass -> false)
+          cross
+      in
+      if List.length caught < List.length cross then
+        [
+          Printf.sprintf
+            "MUTATE NOT CAUGHT: the planted off-by-one passed %d/%d \
+             cross-path comparisons — the oracle cannot fail and is not \
+             evidence"
+            (List.length cross - List.length caught)
+            (List.length cross);
+        ]
+      else
+        match caught with
+        | [] -> [ "mutate: no cross-path comparisons ran" ]
+        | (p0, _) :: _ ->
+            let mutant = O.cross_path ~mutate:true () in
+            let still_fails q =
+              match
+                (mutant.O.run (Imk_check.Env.build ~scale q) q).O.outcome
+              with
+              | O.Divergence _ -> true
+              | O.Pass -> false
+            in
+            let minimal = Imk_check.Shrink.minimize still_fails p0 in
+            Printf.sprintf
+              "mutate: planted off-by-one caught in %d/%d cross-path \
+               comparisons"
+              (List.length caught) (List.length cross)
+            :: String.split_on_char '\n' (Imk_check.Shrink.report minimal)
+  in
+  let verdict_note =
+    if mutate then
+      let outside =
+        List.length
+          (List.filter (fun (id, _, _) -> id <> "cross-path") !divergences)
+      in
+      if outside > 0 then
+        Printf.sprintf
+          "DIVERGENCE: %d comparisons outside cross-path disagreed under \
+           --mutate — see table"
+          outside
+      else
+        Printf.sprintf
+          "%d comparisons; zero divergences outside cross-path (which is \
+           expected to diverge under --mutate)"
+          !comparisons
+    else if !divergent_total = 0 then
+      Printf.sprintf
+        "zero divergences across %d comparisons — monitor/loader layouts, \
+         plan-cache traces, snapshot clones, arena recycling and jobs \
+         fan-out all agree bit for bit"
+        !comparisons
+    else
+      Printf.sprintf "DIVERGENCE: %d of %d comparisons disagreed — see table"
+        !divergent_total !comparisons
+  in
+  {
+    id = "diffcheck";
+    title = "Differential boot oracles: cross-path equivalence campaign";
+    table;
+    notes = (verdict_note :: mutate_notes);
+    telemetry;
+  }
+
 let all_ids =
   [
     "table1"; "fig3"; "fig4"; "fig5"; "fig6"; "fig9"; "fig10"; "fig11";
-    "qemu"; "throughput"; "security"; "faults"; "ablation-kallsyms";
-    "ablation-orc"; "ablation-page-sharing"; "ablation-rerando";
-    "ablation-zygote"; "ablation-unikernel"; "ablation-devices";
+    "qemu"; "throughput"; "security"; "faults"; "diffcheck";
+    "ablation-kallsyms"; "ablation-orc"; "ablation-page-sharing";
+    "ablation-rerando"; "ablation-zygote"; "ablation-unikernel";
+    "ablation-devices";
   ]
 
 let by_id = function
@@ -1486,6 +1749,7 @@ let by_id = function
   | "throughput" -> Some (fun ?runs ws -> throughput ?runs ws)
   | "security" -> Some (fun ?runs ws -> ignore runs; security ws)
   | "faults" -> Some (fun ?runs ws -> faults ?runs ws)
+  | "diffcheck" -> Some (fun ?runs ws -> diffcheck ?runs ws)
   | "ablation-kallsyms" -> Some (fun ?runs ws -> ablation_kallsyms ?runs ws)
   | "ablation-orc" -> Some (fun ?runs ws -> ablation_orc ?runs ws)
   | "ablation-page-sharing" ->

@@ -68,6 +68,16 @@ val throughput : ?runs:int -> Workspace.t -> output
 val security : Workspace.t -> output
 (** Entropy accounting + the leak-and-locate attack. *)
 
+val diffcheck : ?runs:int -> ?mutate:bool -> Workspace.t -> output
+(** Differential-oracle campaign (DESIGN.md §8): runs the {!Imk_check}
+    catalogue — cross-path layout, plan-cache traces, snapshot clones,
+    arena recycling — over the kernel matrix with run-pure seeds, fanned
+    over [--jobs], plus a jobs-1 ≡ jobs-N [boot_many] row. The table and
+    telemetry are bit-identical for any jobs value. [mutate] plants an
+    off-by-one in the cross-path comparison; the campaign must report it
+    caught and prints a shrunk reproducer — an oracle that cannot fail
+    is not evidence. *)
+
 val faults : ?runs:int -> Workspace.t -> output
 (** Deterministic fault-injection campaign: fault kinds x boot paths x
     seeds under {!Boot_supervisor} supervision. Reports, per cell, how

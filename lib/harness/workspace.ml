@@ -25,6 +25,7 @@ let create ?(scale = 16) ?functions_override ?(plan_cache = true) () =
   }
 
 let disk t = t.disk
+let scale t = t.scale
 let cache t = t.cache
 let arena t = t.arena
 let plans t = t.plans

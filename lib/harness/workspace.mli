@@ -15,6 +15,11 @@ val create : ?scale:int -> ?functions_override:int -> ?plan_cache:bool -> unit -
     (bench [--no-plan-cache]) — telemetry is bit-identical either way. *)
 
 val disk : t -> Imk_storage.Disk.t
+
+val scale : t -> int
+(** The kernel-matrix scale this workspace builds at — campaigns that
+    build their own per-point images (diffcheck) must match it. *)
+
 val cache : t -> Imk_storage.Page_cache.t
 
 val arena : t -> Imk_memory.Arena.t

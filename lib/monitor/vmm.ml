@@ -121,7 +121,7 @@ let check_kaslr_note (elf : Imk_elf.Types.t) =
 
 (* --- direct (uncompressed vmlinux) boot --- *)
 
-let direct_boot ?plans ch cache (config : Vm_config.t) kernel_bytes mem
+let direct_boot ?plans ?choices ch cache (config : Vm_config.t) kernel_bytes mem
     ~phys_limit =
   let cm = Charge.model ch in
   (* the plan is derived once per image content; the boot still pays the
@@ -168,19 +168,38 @@ let direct_boot ?plans ch cache (config : Vm_config.t) kernel_bytes mem
                       CONFIG_RELOCATABLE?" path
             | t -> t))
   in
-  (* host entropy pool: cheap, well-seeded randomness (§4.3) *)
+  (* host entropy pool: cheap, well-seeded randomness (§4.3). A pinned
+     [choices] schedule (differential oracles) only replaces where the
+     random decisions come from; every charge below is unchanged *)
   let pool = Imk_entropy.Pool.create Imk_entropy.Pool.Host_pool ~seed:config.seed in
   let rng = Imk_entropy.Pool.prng pool in
+  let physical_rng () =
+    match choices with
+    | Some c -> Imk_randomize.Choices.physical_rng c
+    | None -> rng
+  in
+  let virtual_rng () =
+    match choices with
+    | Some c -> Imk_randomize.Choices.virtual_rng c
+    | None -> rng
+  in
+  let shuffle_rng () =
+    match choices with
+    | Some c -> Imk_randomize.Choices.shuffle_rng c
+    | None -> rng
+  in
   let phys_load, delta =
     match rando with
     | Vm_config.Rando_off -> (Addr.default_phys_load, 0)
     | _ ->
         Charge.pay ch (2 * Imk_entropy.Pool.draw_cost_ns pool);
         let phys =
-          Imk_randomize.Kaslr.choose_physical rng ~image_memsz
+          Imk_randomize.Kaslr.choose_physical (physical_rng ()) ~image_memsz
             ~mem_bytes:phys_limit
         in
-        let virt = Imk_randomize.Kaslr.choose_virtual rng ~image_memsz in
+        let virt =
+          Imk_randomize.Kaslr.choose_virtual (virtual_rng ()) ~image_memsz
+        in
         (phys, virt - Addr.link_base)
   in
   let plan =
@@ -195,7 +214,9 @@ let direct_boot ?plans ch cache (config : Vm_config.t) kernel_bytes mem
           (int_of_float
              (cm.Cost_model.section_shuffle_ns
              *. float_of_int (modeled config (Array.length sections))));
-        Some (Imk_randomize.Fgkaslr.make_plan rng ~sections ~text_base:Addr.link_base)
+        Some
+          (Imk_randomize.Fgkaslr.make_plan (shuffle_rng ()) ~sections
+             ~text_base:Addr.link_base)
     | _ -> None
   in
   (* one-pass placement: segments land at their final (displaced)
@@ -314,7 +335,7 @@ let stage_bzimage ?plans ch (config : Vm_config.t) kernel_bytes mem =
   bplan
 
 (* guest half: control transfers to the bootstrap loader *)
-let run_loader ?plans ch (config : Vm_config.t) bplan mem =
+let run_loader ?plans ?choices ch (config : Vm_config.t) bplan mem =
   let rando =
     match config.rando with
     | Vm_config.Rando_off -> Imk_bootstrap.Loader.Loader_off
@@ -338,11 +359,11 @@ let run_loader ?plans ch (config : Vm_config.t) bplan mem =
   let guest_rng = Imk_entropy.Prng.create ~seed:(Int64.add config.seed 101L) in
   let hooks = Plan_cache.loader_hooks plans bplan in
   try
-    Imk_bootstrap.Loader.run ~hooks ch mem ~bzimage:bplan.Plan_cache.bz
+    Imk_bootstrap.Loader.run ~hooks ?choices ch mem ~bzimage:bplan.Plan_cache.bz
       ~staging_pa ~config:config.kernel_config ~rando ~policy ~rng:guest_rng
   with Imk_bootstrap.Loader.Loader_error m -> fail "bootstrap loader: %s" m
 
-let boot_on ?(inject = fun (_ : string) -> ()) ?plans ch cache
+let boot_on ?(inject = fun (_ : string) -> ()) ?plans ?choices ch cache
     (config : Vm_config.t) mem =
   let staged =
     Charge.span ch Trace.In_monitor "in-monitor" (fun () ->
@@ -368,13 +389,14 @@ let boot_on ?(inject = fun (_ : string) -> ()) ?plans ch cache
         if is_bzimage then `Bz (stage_bzimage ?plans ch config kernel_bytes mem)
         else
           `Direct
-            (direct_boot ?plans ch cache config kernel_bytes mem ~phys_limit))
+            (direct_boot ?plans ?choices ch cache config kernel_bytes mem
+               ~phys_limit))
   in
   (* bzImage boots leave In-Monitor before the loader runs *)
   let params =
     match staged with
     | `Direct p -> p
-    | `Bz bplan -> run_loader ?plans ch config bplan mem
+    | `Bz bplan -> run_loader ?plans ?choices ch config bplan mem
   in
   (* guest driver probes and the rootfs mount are part of the guest's
      boot (a separate top-level Linux Boot span; phase totals sum) *)
@@ -395,7 +417,7 @@ let boot_on ?(inject = fun (_ : string) -> ()) ?plans ch cache
   let stats = Imk_guest.Linux_boot.run ch config.kernel_config mem params in
   { config; params; stats; mem }
 
-let boot ?arena ?mem ?inject ?plans ch cache (config : Vm_config.t) =
+let boot ?arena ?mem ?inject ?plans ?choices ch cache (config : Vm_config.t) =
   if config.mem_bytes < 32 * 1024 * 1024 then
     fail "guest memory too small (%d bytes)" config.mem_bytes;
   match mem with
@@ -405,18 +427,18 @@ let boot ?arena ?mem ?inject ?plans ch cache (config : Vm_config.t) =
       if Guest_mem.size m <> config.mem_bytes then
         fail "provided guest memory is %d bytes, config wants %d"
           (Guest_mem.size m) config.mem_bytes;
-      boot_on ?inject ?plans ch cache config m
+      boot_on ?inject ?plans ?choices ch cache config m
   | None -> (
       match arena with
       | None ->
-          boot_on ?inject ?plans ch cache config
+          boot_on ?inject ?plans ?choices ch cache config
             (Guest_mem.create ~size:config.mem_bytes)
       | Some a ->
           (* success hands [mem] to the caller (who releases it); a boot
              that raises must return the borrowed buffer itself or the
              arena leaks one buffer per injected fault *)
           let m = Arena.borrow a ~size:config.mem_bytes in
-          (try boot_on ?inject ?plans ch cache config m
+          (try boot_on ?inject ?plans ?choices ch cache config m
            with e ->
              Arena.release a m;
              raise e))

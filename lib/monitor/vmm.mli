@@ -53,6 +53,7 @@ val boot :
   ?mem:Imk_memory.Guest_mem.t ->
   ?inject:(string -> unit) ->
   ?plans:Plan_cache.t ->
+  ?choices:Imk_randomize.Choices.t ->
   Imk_vclock.Charge.t ->
   Imk_storage.Page_cache.t ->
   Vm_config.t ->
@@ -86,4 +87,13 @@ val boot :
     instead of re-deriving it per boot. Observationally invisible: every
     virtual-clock charge, telemetry row, failure and [verify_boot]
     outcome is bit-identical with or without it (DESIGN.md §4) — only
-    host wall clock changes. *)
+    host wall clock changes.
+
+    [choices] pins the randomization decisions to an
+    {!Imk_randomize.Choices} schedule: physical base, virtual base and
+    FGKASLR shuffle each come from their own per-decision stream instead
+    of the principal's historical stream. Entropy {e costs} are still
+    charged exactly as before — only where the decisions come from
+    changes. This is the differential oracle's lever (DESIGN.md §8) for
+    booting the in-monitor and bootstrap paths on identical random
+    decisions; production boots omit it. *)

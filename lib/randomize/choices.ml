@@ -1,0 +1,15 @@
+type t = { seed : int64 }
+
+let of_seed seed = { seed }
+let seed t = t.seed
+
+(* one independent stream per decision: Prng.create splitmixes the seed,
+   so xor-ing a large odd tag yields unrelated streams even for nearby
+   schedule seeds. Each accessor returns a *fresh* generator positioned
+   at the start of its stream — both principals see the same first
+   draw(s) no matter what the other decisions consumed. *)
+let stream t tag = Imk_entropy.Prng.create ~seed:(Int64.logxor t.seed tag)
+
+let physical_rng t = stream t 0x9E3779B97F4A7C15L
+let virtual_rng t = stream t 0xC2B2AE3D27D4EB4FL
+let shuffle_rng t = stream t 0x165667B19E3779F9L

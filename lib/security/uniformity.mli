@@ -35,3 +35,19 @@ val test_permutation_positions : sections:int -> draws:int -> seed:int64 -> verd
 (** [test_permutation_positions ~sections ~draws ~seed] checks FGKASLR's
     shuffle: where the {e first} section lands must be uniform over all
     positions. *)
+
+val test_permutation_matrix : sections:int -> draws:int -> seed:int64 -> verdict
+(** [test_permutation_matrix ~sections ~draws ~seed] tests the whole
+    element × position contingency table of {!Imk_entropy.Shuffle}
+    permutations — a bias affecting any element is visible, not only
+    element 0. The doubly-constrained counts give (sections-1)² degrees
+    of freedom; [slots] reports sections². Use [draws] ≥ 5 × sections per
+    cell rule of thumb. *)
+
+val test_pool_bit_balance :
+  source:Imk_entropy.Pool.source -> draws:int -> seed:int64 -> verdict
+(** [test_pool_bit_balance ~source ~draws ~seed] draws 64-bit words from
+    an {!Imk_entropy.Pool} of the given kind and checks every bit
+    position is set in half the draws (summed per-bit chi-square,
+    df = 64). A stuck or correlated bit in either entropy source would
+    silently halve KASLR entropy; this is the direct check. *)

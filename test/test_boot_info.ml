@@ -242,7 +242,7 @@ let () =
             test_write_rejects_long_cmdline;
           Alcotest.test_case "garbage" `Quick test_read_rejects_garbage;
           Alcotest.test_case "bad e820" `Quick test_validate_rejects_bad_map;
-          QCheck_alcotest.to_alcotest qcheck_boot_info_roundtrip;
+          Testkit.to_alcotest qcheck_boot_info_roundtrip;
         ] );
       ( "initrd",
         [

@@ -164,7 +164,7 @@ let test_corrupt_relocs_rejected () =
   (* truncate the relocs file *)
   let good = env.Testkit.built.Imk_kernel.Image.relocs_bytes in
   Imk_storage.Disk.add env.Testkit.disk ~name:"bad.relocs"
-    (Bytes.sub good 0 (Bytes.length good - 5));
+    (Testkit.truncated good);
   check Alcotest.bool "rejected" true
     (try
        ignore (Testkit.boot env ~relocs:(Some "bad.relocs"));
@@ -323,10 +323,48 @@ let test_qemu_profile_slower_in_monitor () =
   check Alcotest.bool "qemu monitor time higher" true
     (boot Profiles.qemu > boot Profiles.firecracker)
 
+(* --- generator-driven matrix sweep: any cell drawn from the shared
+   kernel-matrix generators (Testkit.arb_preset/variant/codec) boots
+   verify-green through
+   its bzImage path; a failing draw shrinks toward the simplest cell --- *)
+
+let qcheck_generated_cell_boots =
+  let envs = Hashtbl.create 9 in
+  let env_for preset variant =
+    match Hashtbl.find_opt envs (preset, variant) with
+    | Some e -> e
+    | None ->
+        let e = Testkit.make_env ~preset ~variant ~functions:30 () in
+        Hashtbl.add envs (preset, variant) e;
+        e
+  in
+  QCheck.Test.make ~count:20
+    ~name:"boot-paths: any generated matrix cell boots verify-green"
+    QCheck.(triple Testkit.arb_preset Testkit.arb_variant Testkit.arb_codec)
+    (fun (preset, variant, codec) ->
+      let env = env_for preset variant in
+      let rando =
+        match variant with
+        | Imk_kernel.Config.Nokaslr -> Vm_config.Rando_off
+        | Imk_kernel.Config.Kaslr -> Vm_config.Rando_kaslr
+        | Imk_kernel.Config.Fgkaslr -> Vm_config.Rando_fgkaslr
+      in
+      let codec_name, bz =
+        match codec with
+        | "none-opt" -> ("none", Imk_kernel.Bzimage.None_optimized)
+        | c -> (c, Imk_kernel.Bzimage.Standard)
+      in
+      let path = Testkit.add_bzimage env ~codec:codec_name ~variant:bz in
+      let _, r =
+        Testkit.boot env ~rando ~flavor:Vm_config.In_monitor_fgkaslr
+          ~kernel_path:path ~relocs:None
+      in
+      r.Vmm.stats.Imk_guest.Runtime.functions_visited = 30)
+
 let () =
   Alcotest.run "boot_paths"
     [
-      ("matrix", matrix_tests);
+      ("matrix", matrix_tests @ [ Testkit.to_alcotest qcheck_generated_cell_boots ]);
       ( "randomization",
         [
           Alcotest.test_case "different seeds differ" `Quick

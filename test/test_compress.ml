@@ -382,7 +382,7 @@ let () =
           Alcotest.test_case "max_len clamp" `Quick test_huffman_max_len_respected;
           Alcotest.test_case "length table io" `Quick
             test_huffman_lengths_table_io;
-          QCheck_alcotest.to_alcotest qcheck_huffman_kraft;
+          Testkit.to_alcotest qcheck_huffman_kraft;
         ] );
       ( "bwt+mtf",
         [
@@ -392,8 +392,8 @@ let () =
             test_suffix_array_sorted;
           Alcotest.test_case "mtf roundtrip" `Quick test_mtf_roundtrip;
           Alcotest.test_case "rle2 roundtrip" `Quick test_rle2_roundtrip;
-          QCheck_alcotest.to_alcotest qcheck_bwt_roundtrip;
-          QCheck_alcotest.to_alcotest qcheck_mtf_roundtrip;
+          Testkit.to_alcotest qcheck_bwt_roundtrip;
+          Testkit.to_alcotest qcheck_mtf_roundtrip;
         ] );
       ( "lz formats",
         [
@@ -423,11 +423,11 @@ let () =
         ] );
       ( "roundtrips",
         List.concat_map roundtrip_tests Registry.all
-        @ List.map (fun c -> QCheck_alcotest.to_alcotest (qcheck_roundtrip c))
+        @ List.map (fun c -> Testkit.to_alcotest (qcheck_roundtrip c))
             Registry.all );
       ( "adversarial",
-        List.map (fun c -> QCheck_alcotest.to_alcotest (qcheck_mutation c))
+        List.map (fun c -> Testkit.to_alcotest (qcheck_mutation c))
           Registry.all
-        @ List.map (fun c -> QCheck_alcotest.to_alcotest (qcheck_truncation c))
+        @ List.map (fun c -> Testkit.to_alcotest (qcheck_truncation c))
             Registry.all );
     ]

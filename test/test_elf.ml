@@ -385,8 +385,8 @@ let () =
               (* corrupt e_shoff *)
               Imk_util.Byteio.set_addr b 40 (Bytes.length b * 2);
               Parser.parse b);
-          QCheck_alcotest.to_alcotest qcheck_roundtrip;
-          QCheck_alcotest.to_alcotest qcheck_parser_adversarial;
+          Testkit.to_alcotest qcheck_roundtrip;
+          Testkit.to_alcotest qcheck_parser_adversarial;
         ] );
       ( "layout+builder",
         [
@@ -409,7 +409,7 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_note_roundtrip;
           Alcotest.test_case "kaslr constants" `Quick test_kaslr_note_roundtrip;
           Alcotest.test_case "rejects garbage" `Quick test_note_rejects_garbage;
-          QCheck_alcotest.to_alcotest qcheck_note_adversarial;
+          Testkit.to_alcotest qcheck_note_adversarial;
         ] );
       ( "relocations",
         [
@@ -419,7 +419,7 @@ let () =
           Alcotest.test_case "truncated" `Quick test_reloc_truncated;
           Alcotest.test_case "sorted invariant" `Quick test_reloc_invariant;
           Alcotest.test_case "map_sites" `Quick test_reloc_map_sites;
-          QCheck_alcotest.to_alcotest qcheck_reloc_roundtrip;
-          QCheck_alcotest.to_alcotest qcheck_reloc_adversarial;
+          Testkit.to_alcotest qcheck_reloc_roundtrip;
+          Testkit.to_alcotest qcheck_reloc_adversarial;
         ] );
     ]

@@ -154,7 +154,7 @@ let () =
           Alcotest.test_case "next_aligned single slot" `Quick
             test_next_aligned_single_slot;
           Alcotest.test_case "gaussian moments" `Quick test_gaussian_moments;
-          QCheck_alcotest.to_alcotest qcheck_aligned_always_aligned;
+          Testkit.to_alcotest qcheck_aligned_always_aligned;
         ] );
       ( "pool",
         [ Alcotest.test_case "source costs" `Quick test_pool_sources ] );
@@ -167,6 +167,6 @@ let () =
             test_is_permutation_rejects;
           Alcotest.test_case "identity fraction" `Quick test_identity_fraction;
           Alcotest.test_case "log2 factorial" `Quick test_log2_factorial;
-          QCheck_alcotest.to_alcotest qcheck_shuffle_permutes;
+          Testkit.to_alcotest qcheck_shuffle_permutes;
         ] );
     ]

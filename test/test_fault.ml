@@ -49,13 +49,7 @@ let test_describe () =
 
 (* --- injector determinism --- *)
 
-let make_disk env =
-  let disk = Imk_storage.Disk.create () in
-  Imk_storage.Disk.add disk ~name:(Testkit.vmlinux_path env)
-    env.Testkit.built.Imk_kernel.Image.vmlinux;
-  Imk_storage.Disk.add disk ~name:(Testkit.relocs_path env)
-    env.Testkit.built.Imk_kernel.Image.relocs_bytes;
-  disk
+let make_disk = Testkit.pristine_disk
 
 let test_arm_is_deterministic () =
   let env = Testkit.make_env ~functions:50 () in
@@ -100,8 +94,8 @@ let qcheck_flip_one_bit_flips_exactly_one =
 
 (* --- supervision --- *)
 
-let supervise_env () =
-  let env = Testkit.make_env ~functions:50 () in
+let supervise_env ?preset () =
+  let env = Testkit.make_env ?preset ~functions:50 () in
   let vm =
     Vm_config.make ~rando:Vm_config.Rando_kaslr
       ~relocs_path:(Some (Testkit.relocs_path env))
@@ -306,21 +300,37 @@ let test_bz_kinds_refuse_vmlinux () =
     [ Inject.Truncate_bzimage; Inject.Flip_bz_payload_crc ]
 
 let qcheck_no_silent_success =
-  let env, vm = supervise_env () in
-  let bz_path =
-    Testkit.add_bzimage env ~codec:"lz4" ~variant:Imk_kernel.Bzimage.Standard
-  in
-  let bz_bytes = Imk_storage.Disk.find env.Testkit.disk bz_path in
-  let bz_vm =
-    Vm_config.make ~flavor:Vm_config.In_monitor_fgkaslr
-      ~rando:Vm_config.Rando_kaslr ~relocs_path:None
-      ~mem_bytes:(64 * 1024 * 1024) ~kernel_path:bz_path
-      ~kernel_config:env.Testkit.cfg ~seed:0L ()
+  (* the preset axis comes from the shared kernel-matrix generator; envs
+     are built lazily once per preset the sweep actually draws *)
+  let envs = Hashtbl.create 3 in
+  let env_for preset =
+    match Hashtbl.find_opt envs preset with
+    | Some e -> e
+    | None ->
+        let env, vm = supervise_env ~preset () in
+        let bz_path =
+          Testkit.add_bzimage env ~codec:"lz4"
+            ~variant:Imk_kernel.Bzimage.Standard
+        in
+        let bz_bytes = Imk_storage.Disk.find env.Testkit.disk bz_path in
+        let bz_vm =
+          Vm_config.make ~flavor:Vm_config.In_monitor_fgkaslr
+            ~rando:Vm_config.Rando_kaslr ~relocs_path:None
+            ~mem_bytes:(64 * 1024 * 1024) ~kernel_path:bz_path
+            ~kernel_config:env.Testkit.cfg ~seed:0L ()
+        in
+        let e = (env, vm, bz_path, bz_bytes, bz_vm) in
+        Hashtbl.add envs preset e;
+        e
   in
   let kinds = Array.of_list Inject.all in
   QCheck.Test.make ~count:40 ~name:"fault: armed boots never silently green"
-    QCheck.(pair (int_bound (Array.length kinds - 1)) (int_bound 10_000))
-    (fun (k, seed) ->
+    QCheck.(
+      triple
+        (int_bound (Array.length kinds - 1))
+        (int_bound 10_000) Testkit.arb_preset)
+    (fun (k, seed, preset) ->
+      let env, vm, bz_path, bz_bytes, bz_vm = env_for preset in
       let kind = kinds.(k) in
       let is_bz =
         match kind with
@@ -355,7 +365,7 @@ let () =
             test_arm_is_deterministic;
           Alcotest.test_case "bz kinds refuse a vmlinux" `Quick
             test_bz_kinds_refuse_vmlinux;
-          QCheck_alcotest.to_alcotest qcheck_flip_one_bit_flips_exactly_one;
+          Testkit.to_alcotest qcheck_flip_one_bit_flips_exactly_one;
         ] );
       ( "supervise",
         [
@@ -377,6 +387,6 @@ let () =
         [
           Alcotest.test_case "jobs-invariant under faults" `Quick
             test_supervise_many_jobs_invariant;
-          QCheck_alcotest.to_alcotest qcheck_no_silent_success;
+          Testkit.to_alcotest qcheck_no_silent_success;
         ] );
     ]

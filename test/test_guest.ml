@@ -270,7 +270,7 @@ let () =
           Alcotest.test_case "detects unsorted kallsyms" `Quick
             test_detects_unsorted_kallsyms;
           Alcotest.test_case "fn_at probe" `Quick test_fn_at_probe;
-          QCheck_alcotest.to_alcotest qcheck_boot_verifies_for_random_seeds;
+          Testkit.to_alcotest qcheck_boot_verifies_for_random_seeds;
         ] );
       ( "kallsyms",
         [

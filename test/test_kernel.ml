@@ -277,7 +277,7 @@ let () =
           Alcotest.test_case "relocs sorted" `Quick test_image_relocs_sorted;
           Alcotest.test_case "size ordering" `Quick test_image_sizes_ordering;
           Alcotest.test_case "modeled sizes" `Quick test_modeled_sizes;
-          QCheck_alcotest.to_alcotest qcheck_image_builds;
+          Testkit.to_alcotest qcheck_image_builds;
         ] );
       ( "unikernel",
         [

@@ -304,7 +304,7 @@ let () =
           Alcotest.test_case "faults" `Quick test_guest_mem_faults;
           Alcotest.test_case "copy_within" `Quick test_copy_within_overlap;
           Alcotest.test_case "get_i64 raw" `Quick test_get_i64_raw;
-          QCheck_alcotest.to_alcotest qcheck_guest_mem_rw;
+          Testkit.to_alcotest qcheck_guest_mem_rw;
         ] );
       ( "arena",
         [
@@ -313,8 +313,8 @@ let () =
             test_arena_recycles_same_buffer;
           Alcotest.test_case "with_buffer exception-safe" `Quick
             test_with_buffer_releases_on_raise;
-          QCheck_alcotest.to_alcotest qcheck_arena_recycled_like_fresh;
-          QCheck_alcotest.to_alcotest qcheck_with_buffer_exception_safe;
+          Testkit.to_alcotest qcheck_arena_recycled_like_fresh;
+          Testkit.to_alcotest qcheck_with_buffer_exception_safe;
         ] );
       ( "page_table",
         [
@@ -322,6 +322,6 @@ let () =
           Alcotest.test_case "4K over 1G" `Quick test_page_table_4k_1g;
           Alcotest.test_case "small" `Quick test_page_table_small;
           Alcotest.test_case "invalid" `Quick test_page_table_invalid;
-          QCheck_alcotest.to_alcotest qcheck_page_table_monotone;
+          Testkit.to_alcotest qcheck_page_table_monotone;
         ] );
     ]

@@ -310,7 +310,7 @@ let () =
             test_cached_uncached_identical_direct;
           Alcotest.test_case "bz boots identical" `Quick
             test_cached_uncached_identical_bz;
-          QCheck_alcotest.to_alcotest qcheck_cached_matches_uncached;
+          Testkit.to_alcotest qcheck_cached_matches_uncached;
           Alcotest.test_case "boot_many invariant (cache x jobs)" `Quick
             test_boot_many_invariant_cache_and_jobs;
         ] );

@@ -252,7 +252,7 @@ let () =
             test_apply_rejects_out_of_image_site;
           Alcotest.test_case "bad target" `Quick
             test_apply_rejects_out_of_window_target;
-          QCheck_alcotest.to_alcotest qcheck_apply_then_verify_consistency;
+          Testkit.to_alcotest qcheck_apply_then_verify_consistency;
         ] );
       ( "fgkaslr plans",
         [
@@ -263,6 +263,6 @@ let () =
           Alcotest.test_case "identity plan" `Quick test_identity_plan;
           Alcotest.test_case "rejects overlap" `Quick test_plan_rejects_overlap;
           Alcotest.test_case "plan_of_pairs" `Quick test_plan_of_pairs_roundtrip;
-          QCheck_alcotest.to_alcotest qcheck_displace_preserves_offsets;
+          Testkit.to_alcotest qcheck_displace_preserves_offsets;
         ] );
     ]

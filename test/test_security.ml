@@ -150,6 +150,48 @@ let test_biased_sampler_caught () =
     (Imk_security.Uniformity.chi_square ~observed
     > Imk_security.Uniformity.critical_value ~df:99 ~alpha:0.01)
 
+let test_permutation_matrix_uniform () =
+  (* the whole element × position table, not just where element 0 lands:
+     a bias anywhere in the shuffle shows up here *)
+  let v =
+    Imk_security.Uniformity.test_permutation_matrix ~sections:16
+      ~draws:2_000 ~seed:9L
+  in
+  check Alcotest.bool "uniform at 1%" true v.Imk_security.Uniformity.uniform;
+  check int "sections^2 cells" 256 v.Imk_security.Uniformity.slots
+
+let test_pool_bits_balanced () =
+  (* a stuck bit in either entropy source silently halves KASLR entropy *)
+  List.iter
+    (fun (name, source) ->
+      let v =
+        Imk_security.Uniformity.test_pool_bit_balance ~source ~draws:20_000
+          ~seed:11L
+      in
+      check Alcotest.bool (name ^ " bits balanced at 1%") true
+        v.Imk_security.Uniformity.uniform)
+    [
+      ("host-pool", Imk_entropy.Pool.Host_pool);
+      ("guest-rdrand", Imk_entropy.Pool.Guest_rdrand);
+    ]
+
+let test_stuck_bit_caught () =
+  (* sanity for the bit-balance statistic: a source whose top bit is
+     always clear must fail decisively *)
+  let draws = 20_000 in
+  let ones = Array.make 64 (draws / 2) in
+  ones.(63) <- 0;
+  let half = float_of_int draws /. 2. in
+  let statistic =
+    Array.fold_left
+      (fun acc o ->
+        let d = float_of_int o -. half in
+        acc +. (2. *. d *. d /. half))
+      0. ones
+  in
+  check Alcotest.bool "stuck bit detected" true
+    (statistic > Imk_security.Uniformity.critical_value ~df:64 ~alpha:0.001)
+
 let qcheck_fgkaslr_leak_value_small =
   QCheck.Test.make ~name:"fgkaslr: leaks expose <10% whatever is leaked"
     ~count:8 QCheck.int64
@@ -189,7 +231,7 @@ let () =
           Alcotest.test_case "outcome fields" `Quick test_attack_outcome_fields;
           Alcotest.test_case "bad leak" `Quick test_attack_bad_leak_rejected;
           Alcotest.test_case "probe budget" `Quick test_probe_budget_exhaustion;
-          QCheck_alcotest.to_alcotest qcheck_fgkaslr_leak_value_small;
+          Testkit.to_alcotest qcheck_fgkaslr_leak_value_small;
         ] );
       ( "uniformity",
         [
@@ -204,5 +246,10 @@ let () =
             test_permutation_positions_uniform;
           Alcotest.test_case "biased sampler caught" `Quick
             test_biased_sampler_caught;
+          Alcotest.test_case "permutation matrix uniform" `Quick
+            test_permutation_matrix_uniform;
+          Alcotest.test_case "pool bits balanced" `Quick
+            test_pool_bits_balanced;
+          Alcotest.test_case "stuck bit caught" `Quick test_stuck_bit_caught;
         ] );
     ]

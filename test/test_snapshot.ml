@@ -189,7 +189,7 @@ let () =
             test_load_rejects_truncation;
           Alcotest.test_case "bad magic rejected" `Quick
             test_load_rejects_bad_magic;
-          QCheck_alcotest.to_alcotest qcheck_load_rejects_bit_flips;
+          Testkit.to_alcotest qcheck_load_rejects_bit_flips;
         ] );
       ( "zygote",
         [

@@ -253,7 +253,7 @@ let () =
           Alcotest.test_case "crc32 empty" `Quick test_crc32_empty;
           Alcotest.test_case "crc32 incremental" `Quick test_crc32_incremental;
           Alcotest.test_case "adler32 vector" `Quick test_adler32_known;
-          QCheck_alcotest.to_alcotest qcheck_crc_differs;
+          Testkit.to_alcotest qcheck_crc_differs;
         ] );
       ( "stats",
         [
@@ -266,8 +266,8 @@ let () =
           Alcotest.test_case "pct_change" `Quick test_pct_change;
           Alcotest.test_case "percentile interpolation" `Quick
             test_percentile_interpolates;
-          QCheck_alcotest.to_alcotest qcheck_stats_bounds;
-          QCheck_alcotest.to_alcotest qcheck_stats_percentiles_ordered;
+          Testkit.to_alcotest qcheck_stats_bounds;
+          Testkit.to_alcotest qcheck_stats_percentiles_ordered;
         ] );
       ( "minjson",
         [

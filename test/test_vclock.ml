@@ -201,6 +201,6 @@ let () =
             test_decompress_none_free;
           Alcotest.test_case "unknown codec" `Quick test_decompress_unknown;
           Alcotest.test_case "jitter" `Quick test_jitter_positive_and_near;
-          QCheck_alcotest.to_alcotest qcheck_costs_nonnegative;
+          Testkit.to_alcotest qcheck_costs_nonnegative;
         ] );
     ]
