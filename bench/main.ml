@@ -289,9 +289,36 @@ let micro () =
     Test.make ~name:"relocs-decode"
       (Staged.stage (fun () -> ignore (Imk_elf.Relocation.decode encoded)))
   in
+  (* the two per-boot byte-moving hot loops the table-driven decoder and
+     batched relocation apply target: raw inflate (Huffman + LZ77, no
+     frame/CRC overhead) and raw relocation patching on a pre-placed
+     image (delta 0 keeps the apply idempotent across iterations while
+     doing every read, validation and store) *)
+  let inflate_test =
+    let payload = Imk_compress.Gzip.encode_payload sample in
+    let orig_len = Bytes.length sample in
+    Test.make ~name:"inflate"
+      (Staged.stage (fun () ->
+           ignore (Imk_compress.Gzip.decode_payload payload ~orig_len)))
+  in
+  let reloc_apply_test =
+    let mem = Imk_memory.Guest_mem.create ~size:(64 * 1024 * 1024) in
+    let phys = Imk_memory.Addr.default_phys_load in
+    Imk_randomize.Loadelf.place mem built.Imk_kernel.Image.elf ~phys_load:phys
+      ~plan:None;
+    Test.make ~name:"reloc-apply"
+      (Staged.stage (fun () ->
+           Imk_randomize.Kaslr.apply ~mem ~relocs:built.Imk_kernel.Image.relocs
+             ~site_pa:(fun va -> va - Imk_memory.Addr.link_base + phys)
+             ~new_va_of:(Imk_randomize.Kaslr.delta_new_va ~delta:0)))
+  in
   let tests =
     Test.make_grouped ~name:"primitives" ~fmt:"%s/%s"
-      (codec_tests @ [ reloc_test; shuffle_test; elf_test; relocs_decode_test ])
+      (codec_tests
+      @ [
+          reloc_test; shuffle_test; elf_test; relocs_decode_test; inflate_test;
+          reloc_apply_test;
+        ])
   in
   let instances = [ Toolkit.Instance.monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in

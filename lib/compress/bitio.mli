@@ -2,7 +2,10 @@
 
     Bits are written most-significant-first within each byte, the
     convention used by canonical-Huffman decoders that consume codes from
-    the top of the bit reservoir. *)
+    the top of the bit reservoir. Both directions batch through an int
+    accumulator: the writer flushes whole bytes as they complete, and the
+    reader refills whole bytes and serves {!Reader.peek_bits} from the
+    buffered window — the table-driven Huffman decoder's contract. *)
 
 module Writer : sig
   type t
@@ -43,6 +46,17 @@ module Reader : sig
 
   val get_bits : t -> int -> int
   (** [get_bits r n] reads [n] bits (MSB-first), [n] in [0, 24]. *)
+
+  val peek_bits : t -> int -> int
+  (** [peek_bits r n] returns the next [n] bits without consuming them,
+      [n] in [0, 24]. Past the end of the stream the result is padded on
+      the right with zero bits — the zlib convention that lets a table
+      lookup index with a full window near end-of-stream; {!consume}
+      refuses to actually claim padding. *)
+
+  val consume : t -> int -> unit
+  (** [consume r n] discards [n] bits previously seen via {!peek_bits}.
+      Raises {!Truncated} if fewer than [n] real bits remain. *)
 
   val align_byte : t -> unit
 

@@ -86,11 +86,11 @@ let decode_payload b ~orig_len =
   let dist_lens = Huffman.read_lengths r n_dist in
   let lit_dec = Huffman.decoder_of_lengths lit_lens in
   let dist_dec = Huffman.decoder_of_lengths dist_lens in
-  Lz77.apply_tokens ~orig_len (fun consume ->
+  Lz77.with_output ~orig_len (fun ~lit ~cpy ->
       let rec go () =
         let sym = Huffman.decode lit_dec r in
         if sym < 256 then begin
-          consume (Lz77.Literal (Char.chr sym));
+          lit (Char.unsafe_chr sym);
           go ()
         end
         else if sym = eob then ()
@@ -101,7 +101,7 @@ let decode_payload b ~orig_len =
           let len = length_base.(i) + Bitio.Reader.get_bits r length_extra.(i) in
           let ds = Huffman.decode dist_dec r in
           let dist = dist_base.(ds) + Bitio.Reader.get_bits r dist_extra.(ds) in
-          consume (Lz77.Match { dist; len });
+          cpy ~dist ~len;
           go ()
         end
       in

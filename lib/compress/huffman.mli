@@ -30,12 +30,26 @@ type decoder
 
 val decoder_of_lengths : int array -> decoder
 (** [decoder_of_lengths lens] builds the canonical decoder for the same
-    lengths. Raises [Codec.Corrupt] if the lengths are not decodable
-    (Kraft sum > 1). *)
+    lengths: a zlib-style lookup table (9-bit root, one subtable level
+    for codes up to the 15-bit cap — see DESIGN.md §4 for the layout)
+    plus the bit-serial reference fields. Raises [Codec.Corrupt] if the
+    lengths are not decodable (Kraft sum > 1, or a length outside
+    [0, 15]). *)
 
 val decode : decoder -> Bitio.Reader.t -> int
-(** [decode dec r] reads one symbol. Raises [Codec.Corrupt] on a code that
-    matches no symbol. *)
+(** [decode dec r] reads one symbol through the lookup table — one
+    {!Bitio.Reader.peek_bits}/[consume] pair for codes up to 9 bits, two
+    for longer ones. Raises [Codec.Corrupt] on a prefix that matches no
+    symbol and [Bitio.Reader.Truncated] when the stream ends inside a
+    code. *)
+
+val decode_ref : decoder -> Bitio.Reader.t -> int
+(** [decode_ref dec r] is the original one-bit-at-a-time canonical walk,
+    kept as the reference implementation. On any stream it decodes the
+    same symbol sequence as {!decode} and fails at the same symbol;
+    the failure exception may differ only at end-of-stream (the walk
+    reports [Truncated] where the table can already prove [Corrupt]).
+    The qcheck differential suite in [test_compress.ml] enforces this. *)
 
 val write_lengths : Bitio.Writer.t -> int array -> unit
 (** [write_lengths w lens] stores a length table as 4-bit nibbles —

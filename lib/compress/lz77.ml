@@ -100,23 +100,36 @@ let parse cfg input ~f =
     end
   done
 
-let apply_tokens ~orig_len produce =
+let with_output ~orig_len produce =
   let out = Bytes.create orig_len in
   let w = ref 0 in
-  let consume = function
-    | Literal c ->
-        if !w >= orig_len then raise (Codec.Corrupt "lz77: literal overflow");
-        Bytes.set out !w c;
-        incr w
-    | Match { dist; len } ->
-        if dist <= 0 || dist > !w then raise (Codec.Corrupt "lz77: bad distance");
-        if !w + len > orig_len then raise (Codec.Corrupt "lz77: match overflow");
-        (* byte-at-a-time to support overlapping matches (RLE-style) *)
-        for k = 0 to len - 1 do
-          Bytes.set out (!w + k) (Bytes.get out (!w + k - dist))
-        done;
-        w := !w + len
+  let lit c =
+    if !w >= orig_len then raise (Codec.Corrupt "lz77: literal overflow");
+    Bytes.unsafe_set out !w c;
+    incr w
   in
-  produce consume;
+  let cpy ~dist ~len =
+    if dist <= 0 || dist > !w then raise (Codec.Corrupt "lz77: bad distance");
+    if len < 0 || !w + len > orig_len then
+      raise (Codec.Corrupt "lz77: match overflow");
+    (* the two checks above bound every index below: src = w - dist >= 0
+       and w + len <= orig_len *)
+    let src = !w - dist in
+    if dist >= len then Bytes.blit out src out !w len
+    else
+      (* overlapping (RLE-style) match: must replicate forward
+         byte-at-a-time — blit's memmove semantics would be wrong *)
+      for k = 0 to len - 1 do
+        Bytes.unsafe_set out (!w + k) (Bytes.unsafe_get out (src + k))
+      done;
+    w := !w + len
+  in
+  produce ~lit ~cpy;
   if !w <> orig_len then raise (Codec.Corrupt "lz77: short token stream");
   out
+
+let apply_tokens ~orig_len produce =
+  with_output ~orig_len (fun ~lit ~cpy ->
+      produce (function
+        | Literal c -> lit c
+        | Match { dist; len } -> cpy ~dist ~len))

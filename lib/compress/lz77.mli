@@ -40,9 +40,22 @@ val parse : config -> bytes -> f:(token -> unit) -> unit
     token. Concatenating the tokens (literals verbatim, matches resolved
     against already-produced output) reconstructs [input] exactly. *)
 
+val with_output :
+  orig_len:int ->
+  (lit:(char -> unit) -> cpy:(dist:int -> len:int -> unit) -> unit) ->
+  bytes
+(** [with_output ~orig_len produce] replays a token stream into a fresh
+    buffer of exactly [orig_len] bytes without materializing tokens:
+    [produce] receives a literal sink and a match-copy sink and calls
+    them in stream order. Each copy validates its whole range once
+    (distance within produced output, end within [orig_len]) and then
+    moves bytes with [Bytes.blit], or with an unsafe forward
+    byte-replication loop when the match overlaps its own output —
+    the audited unsafe-after-validation pattern (DESIGN.md §4).
+    Raises [Codec.Corrupt] on any overflow or bad distance. The hot
+    decode path for gzip; LZ4/LZO reach it through {!apply_tokens}. *)
+
 val apply_tokens : orig_len:int -> (((token -> unit) -> unit)) -> bytes
-(** [apply_tokens ~orig_len produce] replays a token stream into a fresh
-    buffer of exactly [orig_len] bytes; [produce] is called with the
-    consumer. Raises [Codec.Corrupt] if tokens overflow the buffer or a
-    match reaches before the start. Decoders use this as their copy
-    engine. *)
+(** [apply_tokens ~orig_len produce] is {!with_output} for a producer
+    that emits {!token} values. Raises [Codec.Corrupt] if tokens
+    overflow the buffer or a match reaches before the start. *)

@@ -123,6 +123,13 @@ let zero t ~pa ~len =
   touch t pa len;
   Bytes.fill t.data pa len '\000'
 
+let valid t ~pa ~len = pa >= 0 && len >= 0 && pa + len <= Bytes.length t.data
+
+let with_validated_range t ~pa ~len f =
+  check t pa len "validated run";
+  touch t pa len;
+  f t.data
+
 let get_u8 t ~pa =
   check t pa 1 "read u8";
   Imk_util.Byteio.get_u8 t.data pa

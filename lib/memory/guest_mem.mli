@@ -46,6 +46,24 @@ val copy_within : t -> src:int -> dst:int -> len:int -> unit
 
 val zero : t -> pa:int -> len:int -> unit
 
+val valid : t -> pa:int -> len:int -> bool
+(** [valid t ~pa ~len] is true when [\[pa, pa+len)] lies inside guest
+    memory — the test a batch caller runs before committing to
+    {!with_validated_range}, falling back to per-site checked accessors
+    (and their per-site error messages) when it fails. *)
+
+val with_validated_range : t -> pa:int -> len:int -> (bytes -> 'a) -> 'a
+(** [with_validated_range t ~pa ~len f] bounds-checks and dirties
+    [\[pa, pa+len)] once, then passes the backing store to [f] for
+    direct [Imk_util.Byteio] access — one check + one dirty-tracker
+    update for a whole run of nearby sites instead of one per access.
+    The contract is the audited unsafe-after-validation pattern
+    (DESIGN.md §4): [f] must confine every write to the validated range,
+    or the dirty-extent tracker goes dishonest and recycled arenas leak
+    stale bytes. Raises {!Fault} if the range is out of bounds. Reads
+    outside the range are harmless to the tracker but get no bounds
+    protection beyond the byte array's own. *)
+
 val get_u8 : t -> pa:int -> int
 val get_u32 : t -> pa:int -> int
 val set_u32 : t -> pa:int -> int -> unit

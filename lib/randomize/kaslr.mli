@@ -44,7 +44,14 @@ val apply :
     (identity-plus-load-offset for KASLR; additionally displaced by the
     section map for FGKASLR). [new_va_of] maps a link-time {e target} VA
     to its randomized VA. Handles the three kinds of §3.2: 64-bit add,
-    32-bit add with range check, 32-bit inverse subtract. *)
+    32-bit add with range check, 32-bit inverse subtract.
+
+    Sites are patched in table order, batched into monotone physical
+    runs that pay one {!Imk_memory.Guest_mem.with_validated_range}
+    bounds check + dirty-tracker update each instead of one per site;
+    values written, patch order, raised errors and their messages are
+    identical to the per-site path (runs that fail validation are
+    replayed site-by-site through the checked accessors). *)
 
 val delta_new_va : delta:int -> int -> int
 (** [delta_new_va ~delta va] is the plain-KASLR [new_va_of]: adds the

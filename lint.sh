@@ -85,6 +85,34 @@ for f in $(find lib/harness -name '*.ml' 2>/dev/null | sort); do
   fi
 done
 
+# Unchecked memory access is allowed only under the audited
+# unsafe-after-validation pattern (DESIGN.md §4): a bounds proof
+# established up front — Kraft-validated decode tables whose every entry
+# was range-checked at build time, a refill loop whose guard is the
+# bounds check, an LZ77 copy whose window arithmetic was validated
+# before the byte loop. Each allowlisted file carries a comment stating
+# the proof next to each unsafe access; extend the list only with both
+# the audit and the comment. Everything else goes through the checked
+# accessors (Guest_mem, Byteio) — one stray unsafe_set corrupts guest
+# memory silently instead of raising Fault/Corrupt.
+unsafe_allowlist='
+lib/compress/bitio.ml
+lib/compress/huffman.ml
+lib/compress/lz77.ml
+'
+
+for f in $(find lib bin bench examples -name '*.ml' 2>/dev/null | sort); do
+  case "$unsafe_allowlist" in
+  *"
+$f
+"*) continue ;;
+  esac
+  if grep -n '\(Bytes\|Array\)\.unsafe_\(get\|set\)' "$f"; then
+    echo "lint: $f uses unchecked access; use checked accessors, or audit the use and extend lint.sh" >&2
+    status=1
+  fi
+done
+
 # Polymorphic compare in the hot sorts of the randomization and ELF
 # layers costs a C call per comparison and (worse) silently "works" on
 # any type, hiding a key change. The layout/relocation sorts run on

@@ -366,6 +366,164 @@ let qcheck_huffman_kraft =
       let lens = Huffman.lengths_of_freqs (Array.of_list freqs) in
       Huffman.kraft_sum_valid lens)
 
+(* --- table-driven vs bit-serial Huffman decoder equivalence --- *)
+
+let test_bitio_peek_consume () =
+  let w = Bitio.Writer.create () in
+  Bitio.Writer.put_bits w 0b1011 4;
+  Bitio.Writer.put_bits w 0xcafe 16;
+  let data = Bitio.Writer.contents w in
+  let r = Bitio.Reader.create data ~pos:0 in
+  check int "peek does not consume" 0b1011 (Bitio.Reader.peek_bits r 4);
+  check int "peek again" 0b1011 (Bitio.Reader.peek_bits r 4);
+  Bitio.Reader.consume r 4;
+  check int "after consume" 0xcafe (Bitio.Reader.peek_bits r 16);
+  Bitio.Reader.consume r 16;
+  (* 4 padding bits remain in the final byte; past them peek pads with
+     zeros but consume must refuse to claim the padding *)
+  check int "peek pads past end" 0 (Bitio.Reader.peek_bits r 12);
+  check Alcotest.bool "consume past end raises" true
+    (try
+       Bitio.Reader.consume r 12;
+       false
+     with Bitio.Reader.Truncated -> true)
+
+let qcheck_bitio_roundtrip =
+  QCheck.Test.make ~name:"bitio: batched writer/reader roundtrip" ~count:200
+    QCheck.(list_of_size Gen.(0 -- 200) (pair small_nat (int_range 0 24)))
+    (fun chunks ->
+      let w = Bitio.Writer.create () in
+      List.iter (fun (v, n) -> Bitio.Writer.put_bits w v n) chunks;
+      let r = Bitio.Reader.create (Bitio.Writer.contents w) ~pos:0 in
+      List.for_all
+        (fun (v, n) -> Bitio.Reader.get_bits r n = v land ((1 lsl n) - 1))
+        chunks)
+
+(* random decodable length sets, biased to include deep (> 9-bit) codes
+   so the subtable path is exercised *)
+let arb_huffman_lens =
+  QCheck.map
+    (fun freqs ->
+      Huffman.lengths_of_freqs
+        (Array.of_list (List.map (fun f -> 1 + (f * f)) freqs)))
+    QCheck.(list_of_size Gen.(2 -- 64) (int_bound 40))
+
+let coded_symbols lens =
+  let out = ref [] in
+  Array.iteri (fun i l -> if l > 0 then out := i :: !out) lens;
+  Array.of_list !out
+
+(* decode a fixed number of symbols, tagging how the stream ends *)
+let decode_outcome decode_fn dec data limit =
+  let r = Bitio.Reader.create data ~pos:0 in
+  let syms = ref [] in
+  let tag = ref `Ok in
+  (try
+     for _ = 1 to limit do
+       syms := decode_fn dec r :: !syms
+     done
+   with
+  | Codec.Corrupt _ -> tag := `Corrupt
+  | Bitio.Reader.Truncated -> tag := `Truncated
+  | Invalid_argument m -> tag := `Invalid m);
+  (List.rev !syms, !tag)
+
+let qcheck_huffman_table_equiv_valid_streams =
+  (* on well-formed streams the table decoder must reproduce the encoded
+     symbols and leave the reader at the same bit position as the
+     bit-serial reference decoder (checked by draining both readers) *)
+  QCheck.Test.make
+    ~name:"huffman: table decode = bit-serial decode on valid streams"
+    ~count:300
+    QCheck.(
+      triple arb_huffman_lens
+        (list_of_size Gen.(0 -- 100) small_nat)
+        (pair small_nat (int_range 0 16)))
+    (fun (lens, picks, (trail, trail_bits)) ->
+      let coded = coded_symbols lens in
+      if Array.length coded = 0 then true
+      else begin
+        let syms =
+          List.map (fun p -> coded.(p mod Array.length coded)) picks
+        in
+        let enc = Huffman.encoder_of_lengths lens in
+        let w = Bitio.Writer.create () in
+        List.iter (fun s -> Huffman.encode enc w s) syms;
+        Bitio.Writer.put_bits w trail trail_bits;
+        let data = Bitio.Writer.contents w in
+        let dec = Huffman.decoder_of_lengths lens in
+        let drain r =
+          let bits = ref [] in
+          (try
+             while true do
+               bits := Bitio.Reader.get_bit r :: !bits
+             done
+           with Bitio.Reader.Truncated -> ());
+          List.rev !bits
+        in
+        let run decode_fn =
+          let r = Bitio.Reader.create data ~pos:0 in
+          let out = List.map (fun _ -> decode_fn dec r) syms in
+          (out, drain r)
+        in
+        let table_syms, table_rest = run Huffman.decode in
+        let ref_syms, ref_rest = run Huffman.decode_ref in
+        table_syms = syms && ref_syms = syms && table_rest = ref_rest
+      end)
+
+let qcheck_huffman_table_equiv_random_streams =
+  (* on arbitrary bitstreams both decoders must agree symbol for symbol
+     and fail at the same point; the exception may differ only at
+     end-of-stream, where the table can prove Corrupt while the
+     bit-serial walk runs out of bits first (Truncated) — and neither
+     may ever leak Invalid_argument from the unsafe table lookups *)
+  QCheck.Test.make
+    ~name:"huffman: table decode = bit-serial decode on random streams"
+    ~count:300
+    QCheck.(pair arb_huffman_lens (string_of_size Gen.(0 -- 64)))
+    (fun (lens, blob) ->
+      let dec = Huffman.decoder_of_lengths lens in
+      let data = Bytes.of_string blob in
+      let table_syms, table_tag = decode_outcome Huffman.decode dec data 600 in
+      let ref_syms, ref_tag = decode_outcome Huffman.decode_ref dec data 600 in
+      let clean = function
+        | `Ok | `Corrupt | `Truncated -> true
+        | `Invalid _ -> false
+      in
+      table_syms = ref_syms && clean table_tag && clean ref_tag
+      && (table_tag = ref_tag
+         || (table_tag = `Corrupt && ref_tag = `Truncated)))
+
+let test_huffman_rejects_oversubscribed () =
+  Alcotest.check_raises "kraft violation"
+    (Codec.Corrupt "huffman: over-subscribed code lengths") (fun () ->
+      ignore (Huffman.decoder_of_lengths [| 1; 1; 1 |]))
+
+let test_huffman_rejects_out_of_range_length () =
+  Alcotest.check_raises "length 16"
+    (Codec.Corrupt "huffman: code length out of range") (fun () ->
+      ignore (Huffman.decoder_of_lengths [| 16 |]))
+
+let test_huffman_table_deep_codes () =
+  (* skewed frequencies force codes past the 9-bit root so both the root
+     and subtable paths run; roundtrip through both decoders *)
+  let freqs = Array.init 40 (fun i ->
+      let rec fib n = if n < 2 then 1 else fib (n - 1) + fib (n - 2) in
+      fib (min i 25)) in
+  let lens = Huffman.lengths_of_freqs ~max_len:15 freqs in
+  check Alcotest.bool "has a deep code" true
+    (Array.exists (fun l -> l > 9) lens);
+  let enc = Huffman.encoder_of_lengths lens in
+  let dec = Huffman.decoder_of_lengths lens in
+  let syms = List.init 200 (fun i -> i mod 40) in
+  let w = Bitio.Writer.create () in
+  List.iter (fun s -> Huffman.encode enc w s) syms;
+  let data = Bitio.Writer.contents w in
+  let r = Bitio.Reader.create data ~pos:0 in
+  List.iter (fun s -> check int "table" s (Huffman.decode dec r)) syms;
+  let r = Bitio.Reader.create data ~pos:0 in
+  List.iter (fun s -> check int "reference" s (Huffman.decode_ref dec r)) syms
+
 let () =
   Alcotest.run "imk_compress"
     [
@@ -374,6 +532,8 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_bitio_roundtrip;
           Alcotest.test_case "align" `Quick test_bitio_align;
           Alcotest.test_case "truncated" `Quick test_bitio_truncated;
+          Alcotest.test_case "peek/consume" `Quick test_bitio_peek_consume;
+          Testkit.to_alcotest qcheck_bitio_roundtrip;
         ] );
       ( "huffman",
         [
@@ -382,7 +542,15 @@ let () =
           Alcotest.test_case "max_len clamp" `Quick test_huffman_max_len_respected;
           Alcotest.test_case "length table io" `Quick
             test_huffman_lengths_table_io;
+          Alcotest.test_case "rejects over-subscribed lengths" `Quick
+            test_huffman_rejects_oversubscribed;
+          Alcotest.test_case "rejects out-of-range length" `Quick
+            test_huffman_rejects_out_of_range_length;
+          Alcotest.test_case "deep codes hit the subtables" `Quick
+            test_huffman_table_deep_codes;
           Testkit.to_alcotest qcheck_huffman_kraft;
+          Testkit.to_alcotest qcheck_huffman_table_equiv_valid_streams;
+          Testkit.to_alcotest qcheck_huffman_table_equiv_random_streams;
         ] );
       ( "bwt+mtf",
         [

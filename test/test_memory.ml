@@ -89,6 +89,37 @@ let test_copy_within_overlap () =
   check Alcotest.string "blit semantics" "ababcdef"
     (Bytes.to_string (Guest_mem.read_bytes m ~pa:0 ~len:8))
 
+let test_valid_and_validated_range () =
+  let m = Guest_mem.create ~size:256 in
+  check Alcotest.bool "in bounds" true (Guest_mem.valid m ~pa:0 ~len:256);
+  check Alcotest.bool "zero len at end" true (Guest_mem.valid m ~pa:256 ~len:0);
+  check Alcotest.bool "past end" false (Guest_mem.valid m ~pa:250 ~len:10);
+  check Alcotest.bool "negative pa" false (Guest_mem.valid m ~pa:(-1) ~len:4);
+  check Alcotest.bool "negative len" false (Guest_mem.valid m ~pa:0 ~len:(-1));
+  (* out-of-bounds run faults before the callback can run *)
+  check Alcotest.bool "oob run faults" true
+    (try
+       Guest_mem.with_validated_range m ~pa:250 ~len:10 (fun _ ->
+           Alcotest.fail "callback ran on invalid range")
+     with Guest_mem.Fault _ -> true);
+  check Alcotest.bool "nothing dirtied by a faulted run" true
+    (Guest_mem.dirty_extent m = None);
+  (* writes inside a validated run are tracked: scrubbing restores the
+     fresh all-zero state, same as for the checked mutators *)
+  Guest_mem.with_validated_range m ~pa:16 ~len:8 (fun data ->
+      Imk_util.Byteio.set_addr data 16 0x1122334455667788);
+  (match Guest_mem.dirty_extent m with
+  | Some (lo, hi) ->
+      check Alcotest.bool "run covered by dirty extent" true
+        (lo <= 16 && hi >= 24)
+  | None -> Alcotest.fail "expected a dirty extent");
+  check int "write visible to checked reads" 0x1122334455667788
+    (Guest_mem.get_addr m ~pa:16);
+  Guest_mem.scrub m;
+  check Alcotest.bool "scrubbed back to fresh" true
+    (Guest_mem.dirty_extent m = None
+    && Bytes.equal (Guest_mem.raw m) (Bytes.make 256 '\000'))
+
 let test_get_i64_raw () =
   let m = Guest_mem.create ~size:16 in
   Guest_mem.write_bytes m ~pa:0 (Bytes.make 8 '\xff');
@@ -303,6 +334,8 @@ let () =
           Alcotest.test_case "zeroed" `Quick test_guest_mem_zeroed_at_creation;
           Alcotest.test_case "faults" `Quick test_guest_mem_faults;
           Alcotest.test_case "copy_within" `Quick test_copy_within_overlap;
+          Alcotest.test_case "valid + validated range" `Quick
+            test_valid_and_validated_range;
           Alcotest.test_case "get_i64 raw" `Quick test_get_i64_raw;
           Testkit.to_alcotest qcheck_guest_mem_rw;
         ] );

@@ -126,6 +126,161 @@ let test_apply_rejects_out_of_window_target () =
        false
      with Kaslr.Reloc_error _ -> true)
 
+(* per-site reference for the batched production [Kaslr.apply]: the same
+   transformation applied one site at a time through the checked
+   Guest_mem accessors — the semantics the batch path promises to
+   preserve bit for bit, including error messages *)
+let reference_apply ~mem ~relocs ~site_pa ~new_va_of =
+  let open Imk_elf.Relocation in
+  let fail fmt = Printf.ksprintf (fun s -> raise (Kaslr.Reloc_error s)) fmt in
+  let patch kind site_va =
+    try
+      let pa = site_pa site_va in
+      match kind with
+      | Abs64 ->
+          let old_va =
+            try Guest_mem.get_addr mem ~pa
+            with Invalid_argument _ ->
+              fail "abs64 site %#x holds a non-address value" site_va
+          in
+          Guest_mem.set_addr mem ~pa (new_va_of old_va)
+      | Abs32 ->
+          let low = Guest_mem.get_u32 mem ~pa in
+          let old_va =
+            try Addr.va_of_low32 low
+            with Invalid_argument _ ->
+              fail "abs32 site %#x holds non-kernel value %#x" site_va low
+          in
+          let nva = new_va_of old_va in
+          if not (Addr.is_kernel_va nva) then
+            fail "abs32 relocation at %#x overflows 32 bits" site_va;
+          Guest_mem.set_u32 mem ~pa (Addr.low32 nva)
+      | Inv32 ->
+          let stored = Guest_mem.get_u32 mem ~pa in
+          let old_va = Addr.inverse_base - stored in
+          if not (Addr.is_kernel_va old_va) then
+            fail "inv32 site %#x holds non-kernel value %#x" site_va stored;
+          let nva = new_va_of old_va in
+          let stored' = Addr.inverse_base - nva in
+          if stored' < 0 || stored' > 0xffffffff then
+            fail "inv32 relocation at %#x underflows" site_va;
+          Guest_mem.set_u32 mem ~pa stored'
+    with Guest_mem.Fault m ->
+      fail "relocation site %#x outside the loaded image: %s" site_va m
+  in
+  Array.iter (patch Abs64) relocs.abs64;
+  Array.iter (patch Abs32) relocs.abs32;
+  Array.iter (patch Inv32) relocs.inv32
+
+let qcheck_batched_apply_matches_reference =
+  (* random site sets for all three kinds; [swap_pairs] picks a
+     non-monotonic site_pa (adjacent slots pairwise swapped, the
+     FGKASLR-displacement shape) that forces the batcher to break runs
+     and sends some reads to stale/zero slots — outcome (success or
+     error message) and every guest byte must match the reference *)
+  QCheck.Test.make ~name:"kaslr: batched apply = per-site reference"
+    ~count:200
+    QCheck.(
+      quad
+        (list_of_size Gen.(0 -- 40) (int_bound 2047))
+        (list_of_size Gen.(0 -- 40) (int_bound 2047))
+        (int_range 1 200) bool)
+    (fun (offs64, offs32, slots, swap_pairs) ->
+      let delta = slots * Addr.kernel_align in
+      let size = 64 * 1024 in
+      let sites mult region offs =
+        List.sort_uniq Stdlib.compare offs
+        |> List.map (fun k -> region + (k * mult))
+      in
+      let o64 = sites 8 0 offs64 in
+      let o32 = sites 4 (16 * 1024) offs32 in
+      let oi32 = sites 4 (32 * 1024) offs32 in
+      let target i = Addr.link_base + 0x10000 + (i * 64) in
+      let mk () =
+        let mem = Guest_mem.create ~size in
+        List.iteri (fun i pa -> Guest_mem.set_addr mem ~pa (target i)) o64;
+        List.iteri
+          (fun i pa -> Guest_mem.set_u32 mem ~pa (Addr.low32 (target i)))
+          o32;
+        List.iteri
+          (fun i pa ->
+            Guest_mem.set_u32 mem ~pa
+              (Addr.low32 (Addr.inverse_base - target i)))
+          oi32;
+        mem
+      in
+      let vas offs =
+        Array.of_list (List.map (fun o -> Addr.link_base + o) offs)
+      in
+      let relocs =
+        { Imk_elf.Relocation.abs64 = vas o64; abs32 = vas o32;
+          inv32 = vas oi32 }
+      in
+      let site_pa =
+        if swap_pairs then fun va -> (va - Addr.link_base) lxor 8
+        else fun va -> va - Addr.link_base
+      in
+      let run apply_fn =
+        let mem = mk () in
+        let outcome =
+          try
+            apply_fn ~mem ~relocs ~site_pa
+              ~new_va_of:(Kaslr.delta_new_va ~delta);
+            None
+          with Kaslr.Reloc_error m -> Some m
+        in
+        (outcome, Bytes.to_string (Guest_mem.raw mem))
+      in
+      run Kaslr.apply = run reference_apply)
+
+let test_batched_fallback_matches_reference () =
+  (* a site past the end of guest memory makes its whole run fail
+     validation; the batcher must replay that run site by site so the
+     good sites are still patched and the bad one reports the per-site
+     message — byte- and message-identical to the reference *)
+  let size = 4096 in
+  let good = [ 0x100; 0x108; 0x200 ] in
+  let oob = 0x100000 in
+  let target = Addr.link_base + 0x4000 in
+  let mk () =
+    let mem = Guest_mem.create ~size in
+    List.iter (fun pa -> Guest_mem.set_addr mem ~pa target) good;
+    mem
+  in
+  let relocs =
+    {
+      Imk_elf.Relocation.abs64 =
+        Array.of_list (List.map (fun o -> Addr.link_base + o) (good @ [ oob ]));
+      abs32 = [||];
+      inv32 = [||];
+    }
+  in
+  let run apply_fn =
+    let mem = mk () in
+    let outcome =
+      try
+        apply_fn ~mem ~relocs
+          ~site_pa:(fun va -> va - Addr.link_base)
+          ~new_va_of:(Kaslr.delta_new_va ~delta:0x600000);
+        None
+      with Kaslr.Reloc_error m -> Some m
+    in
+    (outcome, Bytes.to_string (Guest_mem.raw mem))
+  in
+  let (out_b, bytes_b) = run Kaslr.apply in
+  let (out_r, bytes_r) = run reference_apply in
+  check Alcotest.(option string) "same error" out_r out_b;
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  check Alcotest.bool "error names the site" true
+    (match out_b with
+    | Some m -> contains m "outside the loaded image"
+    | None -> false);
+  check Alcotest.bool "same bytes" true (String.equal bytes_b bytes_r)
+
 (* --- FGKASLR plans --- *)
 
 let sections n =
@@ -252,7 +407,10 @@ let () =
             test_apply_rejects_out_of_image_site;
           Alcotest.test_case "bad target" `Quick
             test_apply_rejects_out_of_window_target;
+          Alcotest.test_case "fallback = reference" `Quick
+            test_batched_fallback_matches_reference;
           Testkit.to_alcotest qcheck_apply_then_verify_consistency;
+          Testkit.to_alcotest qcheck_batched_apply_matches_reference;
         ] );
       ( "fgkaslr plans",
         [
