@@ -43,7 +43,7 @@ let usage () =
     "usage: main.exe [--exp <id>]... [--runs N] [--functions N] [--scale N] [--jobs N]\n\
      \               [--baseline BENCH_<id>.json] [--threshold PCT] [--trace out.json]\n\
      \               [--no-plan-cache] [--mutate]\n\
-     experiments: table1 fig3 fig4 fig5 fig6 fig9 fig10 fig11 qemu throughput security faults diffcheck\n\
+     experiments: table1 fig3 fig4 fig5 fig6 fig9 fig10 fig11 qemu throughput security faults resilience diffcheck\n\
      \             ablation-kallsyms ablation-orc ablation-page-sharing ablation-rerando ablation-zygote ablation-unikernel ablation-devices micro all";
   exit 2
 
@@ -191,14 +191,15 @@ let timed_experiment id
   let o = with_trace_capture id (fun () -> f ~runs:!runs ws) in
   let wall = Unix.gettimeofday () -. t0 in
   print_output o;
-  (* correctness campaigns (diffcheck) flag their failures in notes with
-     fixed markers; a flagged note must fail the invocation, not just
-     print — CI runs these as gates *)
+  (* correctness campaigns (diffcheck, resilience) flag their failures in
+     notes with fixed markers; a flagged note must fail the invocation,
+     not just print — CI runs these as gates *)
   let failing_note n =
     let has_prefix p =
       String.length n >= String.length p && String.sub n 0 (String.length p) = p
     in
     has_prefix "DIVERGENCE" || has_prefix "MUTATE NOT CAUGHT"
+    || has_prefix "SOUNDNESS VIOLATION" || has_prefix "UNRECOVERED"
   in
   if List.exists failing_note o.Imk_harness.Experiments.notes then begin
     gate_failed := true;

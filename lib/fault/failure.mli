@@ -24,11 +24,16 @@ type t =
   | Guest_panic of string
       (** The guest itself detected the problem: a missed relocation in
           the integrity walk or a memory-fault during boot. *)
+  | Deadline_exceeded of string
+      (** The attempt charged past its {!Imk_vclock.Deadline} budget —
+          an overload symptom, not corruption. The supervisor aborts the
+          attempt and falls back (snapshot-or-cold) with a fresh
+          budget. *)
 
 val kind_name : t -> string
 (** Stable short tag ("corrupt-image", "bad-reloc", "decode-error",
-    "transient", "guest-panic") — used as telemetry column values and in
-    [BENCH_faults.json]. *)
+    "transient", "guest-panic", "deadline-exceeded") — used as telemetry
+    column values and in [BENCH_faults.json]. *)
 
 val message : t -> string
 (** The underlying exception's message. *)
@@ -42,6 +47,14 @@ val classify : exn -> t option
     like [Invalid_argument] — the supervisor re-raises those rather than
     masking them). *)
 
+val recoverable : t -> bool
+(** [recoverable f] is true for the kinds a supervisor has a generic
+    recovery for regardless of configuration: transients (retry) and
+    deadline overruns (abort + fresh-budget fallback). [Bad_reloc] and a
+    snapshot's [Decode_error] are also recoverable {e when} the config
+    carries a relocs path / a cold-boot fallback — the campaign, which
+    knows the config, accounts for those separately. *)
+
 (** Recovery actions a {!Imk_harness.Boot_supervisor} took, in order.
     Each is recorded in the supervision report; retry/backoff and
     re-derivation work is separately charged to the virtual clock. *)
@@ -54,9 +67,28 @@ type event =
   | Rederived_relocs of t
       (** The relocation table was corrupt; a fresh one was re-derived
           from the kernel ELF. *)
+  | Deadline_aborted of { failure : t; fresh_budget_ns : int }
+      (** An attempt overran its virtual-time budget and was aborted at
+          a phase boundary; the follow-up attempt got a fresh budget of
+          [fresh_budget_ns]. *)
+  | Retry_budget_exhausted of t
+      (** A transient would have been retried, but the campaign-level
+          retry budget was dry — the supervisor failed fast instead of
+          spinning through a storm. *)
+  | Breaker_opened of { failure : t; consecutive : int }
+      (** [consecutive] persistent failures in a row tripped the
+          kernel-config's circuit breaker. *)
+  | Breaker_short_circuit of { failure : t }
+      (** The breaker was open: the boot was rejected without an
+          attempt, for a small charged cost; [failure] is the last
+          failure the breaker saw. *)
+  | Breaker_probe of { succeeded : bool }
+      (** The half-open probe boot ran: success closes the breaker,
+          failure re-opens it for another cooldown. *)
 
 val event_name : event -> string
 (** Stable short tag ("retried", "cold-boot-fallback",
-    "rederived-relocs"). *)
+    "rederived-relocs", "deadline-aborted", "retry-budget-exhausted",
+    "breaker-opened", "breaker-short-circuit", "breaker-probe"). *)
 
 val describe_event : event -> string

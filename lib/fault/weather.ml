@@ -1,0 +1,73 @@
+type profile = Calm | Flaky | Storm
+
+let profile_name = function
+  | Calm -> "calm"
+  | Flaky -> "flaky"
+  | Storm -> "storm"
+
+let profile_of_name = function
+  | "calm" -> Some Calm
+  | "flaky" -> Some Flaky
+  | "storm" -> Some Storm
+  | _ -> None
+
+let all_profiles = [ Calm; Flaky; Storm ]
+
+type t = { profile : profile; seed : int }
+
+let make profile ~seed = { profile; seed }
+let profile t = t.profile
+let seed t = t.seed
+
+type forecast = { fault : Inject.kind option; cold : bool }
+
+let window_len = 8
+
+(* Fixed 64-bit mix (splitmix's golden-ratio multiplier) so nearby
+   campaign seeds and run indices land on unrelated PRNG streams; every
+   draw below is a pure function of (seed, run). *)
+let stream t ~salt ~index =
+  Imk_entropy.Prng.create
+    ~seed:
+      (Int64.add
+         (Int64.mul (Int64.of_int ((t.seed * 2) + salt)) 0x9E3779B97F4A7C15L)
+         (Int64.of_int index))
+
+let in_burst t ~run =
+  match t.profile with
+  | Calm | Flaky -> false
+  | Storm ->
+      (* bursts are correlated over the run index: a whole window of
+         [window_len] consecutive runs is either stormy or quiet *)
+      let window = (max 1 run - 1) / window_len in
+      Imk_entropy.Prng.next_int (stream t ~salt:1 ~index:window) 2 = 0
+
+(* per-boot percent rates: (transient seam, corrupt seams, cold cache) *)
+let rates t ~run =
+  match t.profile with
+  | Calm -> (0, 0, 0)
+  | Flaky -> (10, 6, 8)
+  | Storm -> if in_burst t ~run then (20, 45, 35) else (4, 6, 6)
+
+let forecast t ~run ~seams =
+  let transient_pct, corrupt_pct, cold_pct = rates t ~run in
+  let rng = stream t ~salt:2 ~index:run in
+  (* fixed draw order — the stream is consumed identically whether or
+     not a fault fires, so forecasts never depend on each other *)
+  let u = Imk_entropy.Prng.next_int rng 100 in
+  let init_failures = 1 + Imk_entropy.Prng.next_int rng 2 in
+  let seam_idx =
+    match seams with
+    | [] -> 0
+    | l -> Imk_entropy.Prng.next_int rng (List.length l)
+  in
+  let cold_u = Imk_entropy.Prng.next_int rng 100 in
+  let fault =
+    if u < transient_pct then Some (Inject.Transient_init init_failures)
+    else if u < transient_pct + corrupt_pct && seams <> [] then
+      Some (List.nth seams seam_idx)
+    else None
+  in
+  { fault; cold = cold_u < cold_pct }
+
+let fault_seed t ~run = (t.seed * 7919) + (131 * run) + 7

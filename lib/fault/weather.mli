@@ -1,0 +1,63 @@
+(** Seed-deterministic correlated fault processes ("weather").
+
+    {!Inject} arms one fault against one boot; a fleet campaign needs
+    whole runs of weather: per-seam fault rates, cold-cache overload,
+    and correlated bursts where failures cluster instead of arriving
+    independently. A weather value generalizes one-shot injection into
+    a process over the run index while staying a pure function of
+    [(profile, seed, run)] — two workers forecasting the same run get
+    the same answer, which is what keeps a fault-laden campaign
+    bit-identical for any [--jobs] fan-out.
+
+    The storm profile draws its bursts per {e window} of
+    {!window_len} consecutive runs: a window is either stormy (high
+    fault and cold-cache rates) or quiet (background rates), modelling
+    the correlated failures — a flaky disk, a thundering herd of cold
+    starts — that one-shot injection cannot. *)
+
+type profile =
+  | Calm  (** no faults at all: the control rows of a campaign *)
+  | Flaky  (** low independent per-boot rates, no bursts *)
+  | Storm  (** burst windows with high fault and cold-start rates *)
+
+val profile_name : profile -> string
+(** "calm" / "flaky" / "storm" — telemetry row labels. *)
+
+val profile_of_name : string -> profile option
+val all_profiles : profile list
+
+type t
+
+val make : profile -> seed:int -> t
+(** [make profile ~seed] fixes the whole campaign's weather. Every
+    forecast derives from [seed] alone. *)
+
+val profile : t -> profile
+val seed : t -> int
+
+type forecast = {
+  fault : Inject.kind option;
+      (** seam to arm against this run's private disk, if any *)
+  cold : bool;
+      (** drop this run's page cache first: the overload / cold-start
+          condition that makes an attempt overrun its
+          {!Imk_vclock.Deadline} budget *)
+}
+
+val window_len : int
+(** Runs per storm burst window. *)
+
+val in_burst : t -> run:int -> bool
+(** [in_burst t ~run] is whether [run] (1-based) falls in a stormy
+    window. Always false for calm and flaky profiles. *)
+
+val forecast : t -> run:int -> seams:Inject.kind list -> forecast
+(** [forecast t ~run ~seams] draws run [run]'s weather: maybe a
+    transient, maybe a corruption picked uniformly from [seams] (the
+    injectable seams of the boot path under test), maybe a cold cache.
+    Pure in [(t, run)]; [seams] order matters, so keep it fixed across
+    a campaign. *)
+
+val fault_seed : t -> run:int -> int
+(** The seed to pass to {!Inject.arm} for run [run] — pure in
+    [(t, run)], distinct per run. *)

@@ -1465,6 +1465,394 @@ let faults ?(runs = 20) ws =
     telemetry = List.rev !rows;
   }
 
+(* ---------- Resilience campaign: weather x preset x boot path ---------- *)
+
+(* one swept (preset, boot-path) point, built up front on the calling
+   domain: pristine file bytes, injectable seams, and the calibrated
+   per-attempt virtual-time budget *)
+type resilience_cell = {
+  c_path : string;  (* "aws/direct/kaslr" *)
+  c_files : (string * bytes) list;
+  c_kernel : string;
+  c_relocs : string option;
+  c_seams : Imk_fault.Inject.kind list;
+  c_snapshot : (string * bytes) option;
+  c_make : seed:int64 -> Vm_config.t;
+  c_budget : int;
+}
+
+let resilience ?(runs = 10) ws =
+  (* Sweep weather profile x preset x boot path under fleet supervision
+     (circuit breakers, per-attempt deadlines, a campaign retry budget)
+     and hold two lines: an armed fault must never boot silently green,
+     and a recoverable fault must end recovered or as an accounted
+     degradation (retry budget dry, breaker open). Weather, fault seeds
+     and per-run state are pure functions of the (cell, run) index and
+     each cell runs its boots sequentially against its own fleet, so the
+     table is bit-identical for any --jobs value — parallelism lives
+     between cells. *)
+  let module F = Imk_fault.Failure in
+  let module I = Imk_fault.Inject in
+  let module W = Imk_fault.Weather in
+  let module S = Boot_supervisor in
+  let mem = 64 * 1024 * 1024 in
+  let plans = Workspace.plans ws in
+  let ms = Imk_util.Units.ns_float_to_ms in
+  let file name = (name, Imk_storage.Disk.find (Workspace.disk ws) name) in
+  let calibrated ~files ~make_vm =
+    (* a clean warm boot of the cell's config, deterministic (no
+       jitter); the attempt budget is 1.5x that — generous against ~1%
+       jitter, tight enough that a cold-cache overload overruns it *)
+    let disk = Imk_storage.Disk.create () in
+    List.iter (fun (n, b) -> Imk_storage.Disk.add disk ~name:n b) files;
+    let cache = Imk_storage.Page_cache.create disk in
+    List.iter (fun (n, _) -> Imk_storage.Page_cache.warm cache n) files;
+    let ctx = S.plain_ctx ?plans cache in
+    let r = S.supervise ~jitter:false ~seed:1L ~ctx (make_vm ~seed:1L) in
+    match r.S.outcome with
+    | Ok _ -> r.S.total_ns * 3 / 2
+    | Error f ->
+        invalid_arg ("resilience: calibration boot failed: " ^ F.describe f)
+  in
+  let direct_cell preset =
+    let variant = Config.Kaslr in
+    let k = Workspace.vmlinux_path ws preset variant in
+    let r = Workspace.relocs_path ws preset variant in
+    let kcfg = Workspace.config ws preset variant in
+    let files = [ file k; file r ] in
+    let make ~seed =
+      Vm_config.make ~rando:Vm_config.Rando_kaslr ~mem_bytes:mem
+        ~relocs_path:(Some r) ~kernel_path:k ~kernel_config:kcfg ~seed ()
+    in
+    {
+      c_path = pname preset ^ "/direct/kaslr";
+      c_files = files;
+      c_kernel = k;
+      c_relocs = Some r;
+      c_seams =
+        [
+          I.Truncate_image; I.Flip_image_magic; I.Flip_entry_magic;
+          I.Truncate_relocs; I.Flip_relocs_magic; I.Read_fault_entry_magic;
+        ];
+      c_snapshot = None;
+      c_make = make;
+      c_budget = calibrated ~files ~make_vm:make;
+    }
+  in
+  let bz_cell preset =
+    let variant = Config.Kaslr in
+    let k =
+      Workspace.bzimage_path ws preset variant ~codec:"lz4" ~bz:Bzimage.Standard
+    in
+    let kcfg = Workspace.config ws preset variant in
+    let files = [ file k ] in
+    let make ~seed =
+      Vm_config.make ~flavor:Vm_config.In_monitor_fgkaslr
+        ~rando:Vm_config.Rando_kaslr ~mem_bytes:mem
+        ~loader:Vm_config.Loader_stripped ~kernel_path:k ~kernel_config:kcfg
+        ~seed ()
+    in
+    {
+      c_path = pname preset ^ "/bz/lz4/kaslr";
+      c_files = files;
+      c_kernel = k;
+      c_relocs = None;
+      c_seams = [ I.Flip_image_magic; I.Truncate_bzimage; I.Flip_bz_payload_crc ];
+      c_snapshot = None;
+      c_make = make;
+      c_budget = calibrated ~files ~make_vm:make;
+    }
+  in
+  let snapshot_cell preset =
+    let d = direct_cell preset in
+    (* one base snapshot per campaign; per-run corruption is a seed-pure
+       bit flip. The budget stays the cold-boot fallback's: a warm
+       restore fits easily under it, a cold one overruns and degrades. *)
+    let blob =
+      let trace = Imk_vclock.Trace.create (Imk_vclock.Clock.create ()) in
+      let ch = Imk_vclock.Charge.create trace Imk_vclock.Cost_model.default in
+      let base = Vmm.boot ?plans ch (Workspace.cache ws) (d.c_make ~seed:404L) in
+      Snapshot.serialize (Snapshot.capture base)
+    in
+    let snap_path = "base.snapshot" in
+    let restore_budget =
+      (* a clean warm restore, deterministic; the cell budget must admit
+         both it and the cold-boot fallback, so take the max with the
+         direct cell's. A cold blob read still overruns it. *)
+      let disk = Imk_storage.Disk.create () in
+      List.iter (fun (n, b) -> Imk_storage.Disk.add disk ~name:n b) d.c_files;
+      Imk_storage.Disk.add disk ~name:snap_path blob;
+      let cache = Imk_storage.Page_cache.create disk in
+      List.iter
+        (fun n -> Imk_storage.Page_cache.warm cache n)
+        (snap_path :: List.map fst d.c_files);
+      let ctx = S.plain_ctx ?plans cache in
+      let r =
+        S.supervise_snapshot ~jitter:false ~seed:1L ~ctx
+          ~snapshot_path:snap_path ~working_set_pages:2048 (d.c_make ~seed:1L)
+      in
+      match r.S.outcome with
+      | Ok _ -> r.S.total_ns * 3 / 2
+      | Error f ->
+          invalid_arg
+            ("resilience: calibration restore failed: " ^ F.describe f)
+    in
+    {
+      d with
+      c_path = pname preset ^ "/snapshot/kaslr";
+      (* a stand-in seam so the forecast draws corruptions at the normal
+         rate; the run loop maps every drawn fault to a blob bit flip *)
+      c_seams = [ I.Flip_image_magic ];
+      c_snapshot = Some (snap_path, blob);
+      c_budget = max d.c_budget restore_budget;
+    }
+  in
+  let cells =
+    List.map direct_cell presets
+    @ [ bz_cell Config.Aws; snapshot_cell Config.Aws ]
+  in
+  let policy_for profile ~budget =
+    let base = { S.default_policy with S.attempt_budget_ns = Some budget } in
+    match profile with
+    | W.Calm | W.Flaky -> base
+    | W.Storm -> { base with S.retry_budget = max 3 (runs / 2) }
+  in
+  let tasks_arr =
+    Array.of_list
+      (List.concat_map
+         (fun profile -> List.map (fun c -> (profile, c)) cells)
+         W.all_profiles)
+  in
+  let jobs = max 1 !Boot_runner.default_jobs in
+  let per_cell =
+    Imk_util.Par.map_tasks ~jobs ~tasks:(Array.length tasks_arr)
+      (fun ~worker:_ ti ->
+        let profile, cell = tasks_arr.(ti) in
+        let weather = W.make profile ~seed:(1 + ti) in
+        let fleet =
+          S.fleet ~policy:(policy_for profile ~budget:cell.c_budget) ()
+        in
+        let out = ref [] in
+        for run = 1 to runs do
+          let seed = Boot_runner.run_seed run in
+          let fc = W.forecast weather ~run ~seams:cell.c_seams in
+          let disk = Imk_storage.Disk.create () in
+          List.iter
+            (fun (n, b) -> Imk_storage.Disk.add disk ~name:n b)
+            cell.c_files;
+          let inject, snap_names =
+            match cell.c_snapshot with
+            | None ->
+                ( (match fc.W.fault with
+                  | None -> None
+                  | Some kind ->
+                      (I.arm kind ~seed:(W.fault_seed weather ~run) ~disk
+                         ~kernel_path:cell.c_kernel
+                         ?relocs_path:cell.c_relocs ())
+                        .I.inject),
+                  [] )
+            | Some (snap_path, blob) ->
+                (* snapshot cells read weather as snapshot-blob
+                   corruption: any drawn fault flips one bit of the
+                   CRC-framed blob, detectable by construction *)
+                let blob =
+                  match fc.W.fault with
+                  | None -> blob
+                  | Some _ ->
+                      I.flip_one_bit ~seed:(W.fault_seed weather ~run) blob
+                in
+                Imk_storage.Disk.add disk ~name:snap_path blob;
+                (None, [ snap_path ])
+          in
+          let cache = Imk_storage.Page_cache.create disk in
+          if not fc.W.cold then
+            List.iter
+              (fun n -> Imk_storage.Page_cache.warm cache n)
+              (List.map fst cell.c_files @ snap_names);
+          let ctx = { S.cache; inject; plans } in
+          let report =
+            match cell.c_snapshot with
+            | None -> S.supervise ~fleet ~seed ~ctx (cell.c_make ~seed)
+            | Some (snap_path, _) ->
+                S.supervise_snapshot ~fleet ~seed ~ctx ~snapshot_path:snap_path
+                  ~working_set_pages:2048 (cell.c_make ~seed)
+          in
+          out := (report, fc) :: !out
+        done;
+        (profile, cell, Array.of_list (List.rev !out), S.breaker_trips fleet))
+  in
+  (* sequential aggregation, in task order *)
+  let table =
+    Imk_util.Table.create
+      ~headers:
+        [
+          "profile"; "path"; "runs"; "ok"; "recovered"; "failed"; "short";
+          "silent"; "unrec"; "retries"; "aborts"; "fallbacks"; "trips";
+          "mttr ms"; "p50 ms"; "p99 ms";
+        ]
+  in
+  let silent_total = ref 0 and unrecovered_total = ref 0 in
+  let fault_runs = ref 0 in
+  let calm_ns = ref [] and storm_ns = ref [] in
+  let rows = ref [] in
+  Array.iter
+    (fun (profile, cell, rf, trips) ->
+      let totals =
+        Array.to_list
+          (Array.map (fun ((r : S.report), _) -> float_of_int r.S.total_ns) rf)
+      in
+      (match profile with
+      | W.Calm -> calm_ns := totals @ !calm_ns
+      | W.Storm -> storm_ns := totals @ !storm_ns
+      | W.Flaky -> ());
+      let ok = ref 0 and recovered = ref 0 and failed = ref 0 in
+      let short = ref 0 and silent = ref 0 and unrec = ref 0 in
+      let retries = ref 0 and aborts = ref 0 and fallbacks = ref 0 in
+      let mttr_ns = ref [] in
+      Array.iter
+        (fun ((r : S.report), (fc : W.forecast)) ->
+          let armed = fc.W.fault <> None in
+          if armed then incr fault_runs;
+          let accounted_degradation =
+            List.exists
+              (function
+                | F.Retry_budget_exhausted _ | F.Breaker_short_circuit _ ->
+                    true
+                | F.Breaker_probe { succeeded = false } -> true
+                | _ -> false)
+              r.S.events
+          in
+          List.iter
+            (function
+              | F.Retried _ -> incr retries
+              | F.Deadline_aborted _ -> incr aborts
+              | F.Fell_back_to_cold_boot _ -> incr fallbacks
+              | F.Breaker_short_circuit _ -> incr short
+              | _ -> ())
+            r.S.events;
+          match r.S.outcome with
+          | Ok _ ->
+              incr ok;
+              if r.S.events <> [] then begin
+                incr recovered;
+                mttr_ns :=
+                  float_of_int
+                    (List.fold_left (fun a (_, d) -> a + d) 0 r.S.recovery)
+                  :: !mttr_ns
+              end
+              else if armed then incr silent
+          | Error f ->
+              incr failed;
+              let recoverable_here =
+                match f with
+                | F.Transient _ | F.Deadline_exceeded _ -> true
+                | F.Bad_reloc _ -> cell.c_relocs <> None
+                | F.Decode_error _ -> cell.c_snapshot <> None
+                | _ -> false
+              in
+              if recoverable_here && not accounted_degradation then incr unrec)
+        rf;
+      let s = Imk_util.Stats.summarize totals in
+      let prof = W.profile_name profile in
+      Imk_util.Table.add_row table
+        [
+          prof; cell.c_path; string_of_int runs; string_of_int !ok;
+          string_of_int !recovered; string_of_int !failed;
+          string_of_int !short; string_of_int !silent; string_of_int !unrec;
+          string_of_int !retries; string_of_int !aborts;
+          string_of_int !fallbacks; string_of_int trips;
+          (match !mttr_ns with
+          | [] -> "-"
+          | l -> msv (ms (Imk_util.Stats.mean l)));
+          msv (ms s.Imk_util.Stats.p50);
+          msv (ms s.Imk_util.Stats.p99);
+        ];
+      silent_total := !silent_total + !silent;
+      unrecovered_total := !unrecovered_total + !unrec;
+      (* telemetry: the cell's total distribution plus per-recovery-label
+         per-boot sums as phases (raw ns floats, never re-parsed) *)
+      let labels =
+        Array.fold_left
+          (fun acc ((r : S.report), _) ->
+            List.fold_left
+              (fun acc (l, _) -> if List.mem l acc then acc else acc @ [ l ])
+              acc r.S.recovery)
+          [] rf
+      in
+      let phase_sums label =
+        Array.to_list rf
+        |> List.filter_map (fun ((r : S.report), _) ->
+               match List.filter (fun (l, _) -> l = label) r.S.recovery with
+               | [] -> None
+               | spans ->
+                   Some
+                     (float_of_int
+                        (List.fold_left (fun a (_, d) -> a + d) 0 spans)))
+      in
+      rows :=
+        {
+          label = prof ^ "/" ^ cell.c_path;
+          total = s;
+          phases =
+            List.map
+              (fun l -> (l, Imk_util.Stats.summarize (phase_sums l)))
+              labels;
+        }
+        :: !rows)
+    per_cell;
+  let soundness_note =
+    if !silent_total = 0 then
+      Printf.sprintf
+        "zero silent successes across %d fault-laden runs — every armed \
+         fault surfaced as a typed failure or a recovery event"
+        !fault_runs
+    else
+      Printf.sprintf
+        "SOUNDNESS VIOLATION: %d of %d fault-laden runs booted green with no \
+         recorded event"
+        !silent_total !fault_runs
+  in
+  let unrec_note =
+    if !unrecovered_total = 0 then
+      "zero unrecovered recoverable faults: transients, deadline overruns, \
+       bad relocs and snapshot corruption all ended recovered or as an \
+       accounted degradation (retry budget dry, breaker open)"
+    else
+      Printf.sprintf
+        "UNRECOVERED: %d recoverable faults ended as failures with no \
+         accounted degradation — supervision policy bug"
+        !unrecovered_total
+  in
+  let weather_note =
+    match (!calm_ns, !storm_ns) with
+    | [], _ | _, [] -> []
+    | c, st ->
+        let cs = Imk_util.Stats.summarize c
+        and ss = Imk_util.Stats.summarize st in
+        [
+          Printf.sprintf
+            "storm vs calm: p50 %.1f ms vs %.1f ms (%.2fx), p99 %.1f ms vs \
+             %.1f ms (%.2fx) — the tail is where the weather lives"
+            (ms ss.Imk_util.Stats.p50) (ms cs.Imk_util.Stats.p50)
+            (ss.Imk_util.Stats.p50 /. cs.Imk_util.Stats.p50)
+            (ms ss.Imk_util.Stats.p99) (ms cs.Imk_util.Stats.p99)
+            (ss.Imk_util.Stats.p99 /. cs.Imk_util.Stats.p99);
+        ]
+  in
+  {
+    id = "resilience";
+    title = "Resilience: weather x preset x boot path under fleet supervision";
+    table;
+    notes =
+      (soundness_note :: unrec_note :: weather_note)
+      @ [
+          "recovery is charged and itemized: every report's labelled \
+           recovery intervals sum to total_ns minus the successful attempt \
+           (checked at report construction)";
+        ];
+    telemetry = List.rev !rows;
+  }
+
 let diffcheck ?(runs = 20) ?(mutate = false) ws =
   (* Differential-oracle campaign (DESIGN.md §8): sweep the kernel
      matrix through the Imk_check catalogue, one point per run with a
@@ -1730,7 +2118,7 @@ let diffcheck ?(runs = 20) ?(mutate = false) ws =
 let all_ids =
   [
     "table1"; "fig3"; "fig4"; "fig5"; "fig6"; "fig9"; "fig10"; "fig11";
-    "qemu"; "throughput"; "security"; "faults"; "diffcheck";
+    "qemu"; "throughput"; "security"; "faults"; "resilience"; "diffcheck";
     "ablation-kallsyms"; "ablation-orc"; "ablation-page-sharing";
     "ablation-rerando"; "ablation-zygote"; "ablation-unikernel";
     "ablation-devices";
@@ -1749,6 +2137,7 @@ let by_id = function
   | "throughput" -> Some (fun ?runs ws -> throughput ?runs ws)
   | "security" -> Some (fun ?runs ws -> ignore runs; security ws)
   | "faults" -> Some (fun ?runs ws -> faults ?runs ws)
+  | "resilience" -> Some (fun ?runs ws -> resilience ?runs ws)
   | "diffcheck" -> Some (fun ?runs ws -> diffcheck ?runs ws)
   | "ablation-kallsyms" -> Some (fun ?runs ws -> ablation_kallsyms ?runs ws)
   | "ablation-orc" -> Some (fun ?runs ws -> ablation_orc ?runs ws)

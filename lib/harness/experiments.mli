@@ -87,6 +87,21 @@ val faults : ?runs:int -> Workspace.t -> output
     [--jobs] value: every run gets a private disk, cache and armed
     fault, all pure functions of the run index. *)
 
+val resilience : ?runs:int -> Workspace.t -> output
+(** Resilience campaign: weather profile (calm/flaky/storm,
+    {!Imk_fault.Weather}) x preset x boot path (direct ELF, compressed
+    bzImage, snapshot restore) under {!Boot_supervisor.fleet}
+    supervision — per-attempt virtual-time deadlines, circuit breakers,
+    a campaign retry budget. Per cell: recoveries, short-circuits,
+    breaker trips, deadline aborts, fallbacks, MTTR and p50/p99 boot
+    totals; telemetry carries per-recovery-label phase distributions.
+    Two gates, surfaced as note prefixes [bench/main.exe] fails on:
+    "SOUNDNESS VIOLATION" (an armed fault booted green with no event)
+    and "UNRECOVERED" (a recoverable fault ended as a failure without
+    an accounted degradation). Weather and per-run state are pure in
+    the (cell, run) index and each cell's fleet runs sequentially, so
+    output is bit-identical for any [--jobs]. *)
+
 val ablation_kallsyms : ?runs:int -> Workspace.t -> output
 (** Eager vs deferred kallsyms fixup (§4.3: eager ≈ 22% of boot). *)
 

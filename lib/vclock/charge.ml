@@ -2,13 +2,23 @@ type t = {
   trace : Trace.t;
   cm : Cost_model.t;
   jitter : Imk_entropy.Prng.t option;
+  mutable deadline : Deadline.t option;
 }
 
-let create ?jitter trace cm = { trace; cm; jitter }
+let create ?jitter trace cm = { trace; cm; jitter; deadline = None }
 let trace t = t.trace
 let model t = t.cm
 let clock t = Trace.clock t.trace
-let span t phase label f = Trace.with_span t.trace phase label f
+let set_deadline t d = t.deadline <- d
+let deadline t = t.deadline
+
+let span t phase label f =
+  Trace.with_span t.trace phase label (fun () ->
+      let v = f () in
+      (* the phase boundary: the span's work is done and charged; an
+         armed over-budget deadline aborts here, never mid-transform *)
+      (match t.deadline with None -> () | Some d -> Deadline.check d);
+      v)
 
 let pay t ns =
   let ns =

@@ -14,8 +14,18 @@ val trace : t -> Trace.t
 val model : t -> Cost_model.t
 val clock : t -> Clock.t
 
+val set_deadline : t -> Deadline.t option -> unit
+(** [set_deadline t d] attaches (or detaches, with [None]) a virtual-time
+    budget. While attached, every {!span} close calls {!Deadline.check},
+    so charging past the budget raises {!Deadline.Exceeded} at the next
+    phase boundary. A fresh context has no deadline. *)
+
+val deadline : t -> Deadline.t option
+
 val span : t -> Trace.phase -> string -> (unit -> 'a) -> 'a
-(** [span t phase label f] is [Trace.with_span] on the context's trace. *)
+(** [span t phase label f] is [Trace.with_span] on the context's trace,
+    followed by a {!Deadline.check} when a deadline is attached — phase
+    boundaries are where overruns surface. *)
 
 val pay : t -> int -> unit
 (** [pay t ns] advances the clock by [ns] (jittered when enabled). *)

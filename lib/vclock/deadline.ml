@@ -1,0 +1,36 @@
+type t = {
+  clk : Clock.t;
+  label : string;
+  mutable budget_ns : int;
+  mutable limit_ns : int; (* absolute deadline; max_int while disarmed *)
+}
+
+exception Exceeded of string
+
+let arm clk ~label ~budget_ns =
+  if budget_ns <= 0 then invalid_arg "Deadline.arm: non-positive budget";
+  { clk; label; budget_ns; limit_ns = Clock.now clk + budget_ns }
+
+let rearm t ~budget_ns =
+  if budget_ns <= 0 then invalid_arg "Deadline.rearm: non-positive budget";
+  t.budget_ns <- budget_ns;
+  t.limit_ns <- Clock.now t.clk + budget_ns
+
+let disarm t = t.limit_ns <- max_int
+let armed t = t.limit_ns <> max_int
+let budget_ns t = t.budget_ns
+let label t = t.label
+
+let remaining_ns t =
+  if t.limit_ns = max_int then max_int
+  else max 0 (t.limit_ns - Clock.now t.clk)
+
+let exceeded t = Clock.now t.clk > t.limit_ns
+
+let check t =
+  let now = Clock.now t.clk in
+  if now > t.limit_ns then
+    raise
+      (Exceeded
+         (Printf.sprintf "%s: budget %d ns overrun by %d ns" t.label
+            t.budget_ns (now - t.limit_ns)))

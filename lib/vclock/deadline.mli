@@ -1,0 +1,55 @@
+(** Virtual-time deadlines: a budget attached to a clock.
+
+    A deadline is the first timer-like facility on the virtual clock (a
+    stepping stone toward a discrete-event core): code keeps doing real
+    work and charging it as usual, and the budget is enforced at phase
+    boundaries — {!Charge.span} calls {!check} when a span closes, so an
+    over-budget boot attempt aborts at the first phase boundary past the
+    limit with a typed {!Exceeded}, which
+    [Imk_fault.Failure.classify] maps to [Deadline_exceeded].
+
+    Checking only at span boundaries is deliberate: a phase's data
+    transformation always completes and its cost always lands on the
+    clock before the overrun is observed, exactly like a supervisor that
+    polls a wall-clock timeout between phases rather than preempting
+    mid-memcpy. *)
+
+type t
+
+exception Exceeded of string
+(** Raised by {!check} once the clock has passed the limit. The message
+    names the deadline and the overrun, e.g.
+    ["boot-attempt: budget 5000000 ns overrun by 41000 ns"]. *)
+
+val arm : Clock.t -> label:string -> budget_ns:int -> t
+(** [arm clk ~label ~budget_ns] starts a budget of [budget_ns] virtual
+    nanoseconds from the clock's current time. Raises [Invalid_argument]
+    on a non-positive budget. *)
+
+val rearm : t -> budget_ns:int -> unit
+(** [rearm t ~budget_ns] grants a fresh budget starting now (a retried
+    attempt gets a clean slate). *)
+
+val disarm : t -> unit
+(** [disarm t] suspends enforcement — {!check} never raises until the
+    next {!rearm}. Supervisors disarm the deadline while paying for
+    recovery (backoff, re-derivation) between attempts. *)
+
+val armed : t -> bool
+
+val budget_ns : t -> int
+(** The budget granted by the last {!arm}/{!rearm}. *)
+
+val label : t -> string
+
+val remaining_ns : t -> int
+(** Budget left before {!check} raises; [max_int] while disarmed, 0 when
+    already past the limit. *)
+
+val exceeded : t -> bool
+(** [exceeded t] is true once the clock has passed the limit (without
+    raising). *)
+
+val check : t -> unit
+(** [check t] raises {!Exceeded} if the clock has passed the limit.
+    Called by {!Charge.span} at every span close. *)

@@ -304,6 +304,83 @@ let qcheck_arena_recycled_like_fresh =
            (Guest_mem.read_bytes r ~pa:0 ~len:size)
            (Guest_mem.read_bytes fresh ~pa:0 ~len:size))
 
+let qcheck_arena_fresh_after_supervised_failures =
+  (* the fresh-equivalence promise must survive the supervisor's failure
+     paths too: a deadline-aborted attempt, a corrupt image, a guest
+     panic mid-boot and a transient storm that exhausts its retries all
+     release their guest memory through the with_buffer bracket *)
+  let module S = Imk_harness.Boot_supervisor in
+  let module Inject = Imk_fault.Inject in
+  let module Vm_config = Imk_monitor.Vm_config in
+  let shared =
+    lazy
+      (let env = Testkit.make_env ~functions:50 () in
+       let vm =
+         Vm_config.make ~rando:Vm_config.Rando_kaslr
+           ~relocs_path:(Some (Testkit.relocs_path env))
+           ~mem_bytes:(64 * 1024 * 1024)
+           ~kernel_path:(Testkit.vmlinux_path env) ~kernel_config:env.Testkit.cfg
+           ~seed:0L ()
+       in
+       (env, vm))
+  in
+  QCheck.Test.make ~count:20
+    ~name:"arena: deadline-aborted and storm-failed boots leave it fresh"
+    QCheck.(pair (int_bound 3) (int_bound 9_999))
+    (fun (scenario, seed) ->
+      let env, vm = Lazy.force shared in
+      let arena = Arena.create () in
+      let armed kind =
+        let disk = Testkit.pristine_disk env in
+        let a =
+          Inject.arm kind ~seed ~disk ~kernel_path:(Testkit.vmlinux_path env)
+            ~relocs_path:(Testkit.relocs_path env) ()
+        in
+        {
+          S.cache = Imk_storage.Page_cache.create disk;
+          inject = a.Inject.inject;
+          plans = None;
+        }
+      in
+      let seed64 = Int64.of_int (seed + 1) in
+      let report =
+        match scenario with
+        | 0 ->
+            (* hopeless budget: the attempt and its fallback both abort *)
+            let policy =
+              { S.default_policy with S.attempt_budget_ns = Some 1 }
+            in
+            let fleet = S.fleet ~policy () in
+            let ctx =
+              S.plain_ctx (Imk_storage.Page_cache.create (Testkit.pristine_disk env))
+            in
+            S.supervise ~arena ~fleet ~seed:seed64 ~ctx vm
+        | 1 -> S.supervise ~arena ~seed:seed64 ~ctx:(armed Inject.Flip_image_magic) vm
+        | 2 -> S.supervise ~arena ~seed:seed64 ~ctx:(armed Inject.Flip_entry_magic) vm
+        | _ ->
+            S.supervise ~arena ~max_retries:1 ~seed:seed64
+              ~ctx:(armed (Inject.Transient_init 99))
+              vm
+      in
+      (match (scenario, report.S.outcome) with
+      | 0, Error (Imk_fault.Failure.Deadline_exceeded _)
+      | 1, Error (Imk_fault.Failure.Corrupt_image _)
+      | 2, Error (Imk_fault.Failure.Guest_panic _)
+      | _, Error (Imk_fault.Failure.Transient _) ->
+          ()
+      | _, Error f ->
+          QCheck.Test.fail_reportf "wrong failure kind: %s"
+            (Imk_fault.Failure.describe f)
+      | _, Ok _ -> QCheck.Test.fail_report "expected a failed supervised boot");
+      let size = vm.Vm_config.mem_bytes in
+      Arena.pooled_bytes arena = size
+      &&
+      let r = Arena.borrow arena ~size in
+      Guest_mem.dirty_extent r = None
+      && Bytes.equal
+           (Guest_mem.read_bytes r ~pa:0 ~len:size)
+           (Bytes.make size '\000'))
+
 let qcheck_page_table_monotone =
   QCheck.Test.make ~name:"page tables grow with coverage" ~count:100
     QCheck.(pair (int_range 1 2000) (int_range 1 2000))
@@ -348,6 +425,7 @@ let () =
             test_with_buffer_releases_on_raise;
           Testkit.to_alcotest qcheck_arena_recycled_like_fresh;
           Testkit.to_alcotest qcheck_with_buffer_exception_safe;
+          Testkit.to_alcotest qcheck_arena_fresh_after_supervised_failures;
         ] );
       ( "page_table",
         [

@@ -69,6 +69,77 @@ let test_tracepoint_zero_length () =
   check int "no duration" 0 (Trace.total t);
   check int "recorded" 1 (List.length (Trace.spans t))
 
+let test_deadline_basics () =
+  let c = Clock.create () in
+  let d = Deadline.arm c ~label:"boot" ~budget_ns:100 in
+  check Alcotest.bool "armed" true (Deadline.armed d);
+  check int "budget" 100 (Deadline.budget_ns d);
+  check Alcotest.string "label" "boot" (Deadline.label d);
+  check int "full budget remaining" 100 (Deadline.remaining_ns d);
+  Clock.advance c 60;
+  check int "remaining after spend" 40 (Deadline.remaining_ns d);
+  Deadline.check d;
+  Clock.advance c 40;
+  (* spending exactly the budget is not an overrun *)
+  check Alcotest.bool "at the limit" false (Deadline.exceeded d);
+  Deadline.check d;
+  Clock.advance c 1;
+  check Alcotest.bool "past the limit" true (Deadline.exceeded d);
+  check int "remaining clamps at zero" 0 (Deadline.remaining_ns d);
+  Alcotest.check_raises "typed overrun"
+    (Deadline.Exceeded "boot: budget 100 ns overrun by 1 ns") (fun () ->
+      Deadline.check d)
+
+let test_deadline_rearm_and_disarm () =
+  let c = Clock.create () in
+  let d = Deadline.arm c ~label:"x" ~budget_ns:10 in
+  Clock.advance c 50;
+  (* a fresh budget counts from now, not from arm time *)
+  Deadline.rearm d ~budget_ns:30;
+  check int "rearmed remaining" 30 (Deadline.remaining_ns d);
+  Clock.advance c 31;
+  check Alcotest.bool "overrun again" true (Deadline.exceeded d);
+  Deadline.disarm d;
+  check Alcotest.bool "disarmed" false (Deadline.armed d);
+  check Alcotest.bool "disarmed never exceeded" false (Deadline.exceeded d);
+  Deadline.check d
+
+let test_deadline_rejects_nonpositive_budget () =
+  let c = Clock.create () in
+  (match Deadline.arm c ~label:"x" ~budget_ns:0 with
+  | (_ : Deadline.t) -> Alcotest.fail "zero budget armed"
+  | exception Invalid_argument _ -> ());
+  let d = Deadline.arm c ~label:"x" ~budget_ns:1 in
+  match Deadline.rearm d ~budget_ns:(-1) with
+  | () -> Alcotest.fail "negative budget rearmed"
+  | exception Invalid_argument _ -> ()
+
+let test_charge_span_enforces_deadline_at_boundary () =
+  let c = Clock.create () in
+  let t = Trace.create c in
+  let ch = Charge.create t Cost_model.default in
+  let d = Deadline.arm c ~label:"attempt" ~budget_ns:100 in
+  Charge.set_deadline ch (Some d);
+  Charge.span ch Trace.In_monitor "within" (fun () -> Clock.advance c 90);
+  (* the overrunning phase completes its work and records its span;
+     the typed overrun surfaces only at the phase boundary *)
+  (try
+     Charge.span ch Trace.In_monitor "overrun" (fun () -> Clock.advance c 50);
+     Alcotest.fail "expected Deadline.Exceeded"
+   with Deadline.Exceeded _ -> ());
+  check int "both spans recorded" 140 (Trace.phase_total t Trace.In_monitor);
+  (* an exception from the body wins over the deadline check *)
+  Deadline.rearm d ~budget_ns:1;
+  (try
+     Charge.span ch Trace.Linux_boot "panic" (fun () ->
+         Clock.advance c 10;
+         (failwith "boom" : unit));
+     Alcotest.fail "expected the body's exception"
+   with Stdlib.Failure msg -> check Alcotest.string "body wins" "boom" msg);
+  (* detaching the deadline stops enforcement *)
+  Charge.set_deadline ch None;
+  Charge.span ch Trace.In_monitor "unchecked" (fun () -> Clock.advance c 1_000)
+
 let cm = Cost_model.default
 
 let test_read_cost_monotone () =
@@ -184,6 +255,16 @@ let () =
           Alcotest.test_case "tracepoint" `Quick test_tracepoint_zero_length;
           Alcotest.test_case "chrome export" `Quick
             test_trace_export_chrome_json;
+        ] );
+      ( "deadline",
+        [
+          Alcotest.test_case "arm, spend, overrun" `Quick test_deadline_basics;
+          Alcotest.test_case "rearm and disarm" `Quick
+            test_deadline_rearm_and_disarm;
+          Alcotest.test_case "non-positive budget rejected" `Quick
+            test_deadline_rejects_nonpositive_budget;
+          Alcotest.test_case "charge checks at phase boundary" `Quick
+            test_charge_span_enforces_deadline_at_boundary;
         ] );
       ( "cost_model",
         [
