@@ -37,13 +37,14 @@ let threshold = ref Imk_harness.Telemetry.default_threshold_pct
 let trace_path = ref None
 let no_plan_cache = ref false
 let mutate = ref false
+let requests = ref None
 
 let usage () =
   prerr_endline
     "usage: main.exe [--exp <id>]... [--runs N] [--functions N] [--scale N] [--jobs N]\n\
      \               [--baseline BENCH_<id>.json] [--threshold PCT] [--trace out.json]\n\
-     \               [--no-plan-cache] [--mutate]\n\
-     experiments: table1 fig3 fig4 fig5 fig6 fig9 fig10 fig11 qemu throughput security faults resilience diffcheck\n\
+     \               [--no-plan-cache] [--mutate] [--requests N]\n\
+     experiments: table1 fig3 fig4 fig5 fig6 fig9 fig10 fig11 qemu throughput security faults resilience diffcheck fleet\n\
      \             ablation-kallsyms ablation-orc ablation-page-sharing ablation-rerando ablation-zygote ablation-unikernel ablation-devices micro all";
   exit 2
 
@@ -78,6 +79,9 @@ let rec parse = function
       parse rest
   | "--mutate" :: rest ->
       mutate := true;
+      parse rest
+  | "--requests" :: v :: rest ->
+      requests := Some (int_of_string v);
       parse rest
   | _ -> usage ()
 
@@ -126,7 +130,9 @@ let check_baseline id (current : Imk_harness.Telemetry.file) =
               Printf.sprintf "%.4f" d.T.baseline_p50;
               Printf.sprintf "%.4f" d.T.current_p50;
               Printf.sprintf "%+.2f" d.T.change_pct;
-              (if d.T.regression then "REGRESSION" else "ok");
+              (if d.T.regression then "REGRESSION"
+               else if d.T.degenerate then "n<2"
+               else "ok");
             ])
         deltas;
       Printf.printf "\n  --- baseline diff (%s, threshold %+.1f%% on total p50) ---\n"
@@ -367,6 +373,13 @@ let () =
       | "diffcheck" when !mutate ->
           timed_experiment "diffcheck"
             (fun ?runs ws -> Imk_harness.Experiments.diffcheck ?runs ~mutate:true ws)
+            ws
+      (* --requests only applies to the fleet campaign; by_id keeps the
+         default for --exp all *)
+      | "fleet" when !requests <> None ->
+          timed_experiment "fleet"
+            (fun ?runs ws ->
+              Imk_harness.Experiments.fleet ?runs ?requests:!requests ws)
             ws
       | id -> (
           match Imk_harness.Experiments.by_id id with

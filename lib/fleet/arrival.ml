@@ -1,0 +1,62 @@
+type model =
+  | Poisson of { rate_per_s : float }
+  | Bursty of {
+      base_per_s : float;
+      burst_per_s : float;
+      burst_len : int;
+      period : int;
+    }
+
+let model_name = function Poisson _ -> "poisson" | Bursty _ -> "bursty"
+
+let check_rate what r =
+  if not (Float.is_finite r) || r <= 0. then
+    invalid_arg (Printf.sprintf "Arrival: %s must be positive, got %g" what r)
+
+let validate = function
+  | Poisson { rate_per_s } -> check_rate "rate_per_s" rate_per_s
+  | Bursty { base_per_s; burst_per_s; burst_len; period } ->
+      check_rate "base_per_s" base_per_s;
+      check_rate "burst_per_s" burst_per_s;
+      if burst_len < 0 then invalid_arg "Arrival: burst_len must be >= 0";
+      if period <= 0 then invalid_arg "Arrival: period must be >= 1";
+      if burst_len > period then
+        invalid_arg "Arrival: burst_len must not exceed period"
+
+let rate_at model ~index =
+  match model with
+  | Poisson { rate_per_s } -> rate_per_s
+  | Bursty { base_per_s; burst_per_s; burst_len; period } ->
+      if index mod period < burst_len then burst_per_s else base_per_s
+
+(* A splitmix-style finalizer on native ints: the same per-index stream
+   idea Imk_fault.Weather uses, but allocation-free — gap_ns runs once
+   per simulated request (tens of millions per campaign) and a boxed
+   Int64 PRNG state here is pure GC pressure. 63-bit OCaml ints keep
+   the multiply-xor-shift avalanche; constants fit in 62 bits. *)
+let mix ~seed ~index =
+  let h = ((seed * 2) + 1) * 0x9E3779B97F4A7C1 in
+  let h = h + (index * 0x2545F4914F6CDD1D) in
+  let h = (h lxor (h lsr 30)) * 0x3F58476D1CE4E5B9 in
+  let h = (h lxor (h lsr 27)) * 0x14D049BB133111EB in
+  h lxor (h lsr 31)
+
+let gap_ns model ~seed ~index =
+  validate model;
+  if index < 0 then invalid_arg "Arrival.gap_ns: negative index";
+  let rate = rate_at model ~index in
+  (* 53 uniform mantissa bits, u in [0, 1) *)
+  let u =
+    float_of_int (mix ~seed ~index land ((1 lsl 53) - 1)) *. 0x1p-53
+  in
+  (* inverse-CDF exponential draw; log1p (-. u) is exact near u = 0 and
+     finite for every u in [0, 1) *)
+  let gap_s = -.log1p (-.u) /. rate in
+  max 1 (int_of_float (gap_s *. 1e9))
+
+let arrivals model ~seed ~n =
+  if n < 0 then invalid_arg "Arrival.arrivals: negative n";
+  let t = ref 0 in
+  Array.init n (fun index ->
+      t := !t + gap_ns model ~seed ~index;
+      !t)

@@ -1,0 +1,46 @@
+(** Seed-deterministic request arrival models.
+
+    A serving campaign needs a virtual-time stream of boot requests, not
+    a fixed-size batch. The two models here cover the workloads the
+    Firecracker studies describe: memoryless background traffic
+    ([Poisson]) and thundering-herd invocation spikes ([Bursty], a
+    periodic burst window at a higher rate — the open-loop analogue of
+    {!Imk_fault.Weather}'s storm windows).
+
+    Every inter-arrival gap is a pure function of
+    [(model, seed, index)]: two workers asking for request [i]'s gap get
+    the same answer, which is what lets a campaign shard a request
+    stream without the shards drifting ("bit-identical for any
+    [--jobs]"). *)
+
+type model =
+  | Poisson of { rate_per_s : float }
+      (** memoryless arrivals at [rate_per_s] requests per virtual
+          second; gaps are exponential *)
+  | Bursty of {
+      base_per_s : float;  (** rate outside burst windows *)
+      burst_per_s : float;  (** rate inside burst windows *)
+      burst_len : int;  (** requests per burst window *)
+      period : int;  (** requests per full cycle; [burst_len <= period] *)
+    }
+      (** the first [burst_len] of every [period] consecutive request
+          indices arrive at [burst_per_s], the rest at [base_per_s] *)
+
+val model_name : model -> string
+(** "poisson" / "bursty" — telemetry row labels. *)
+
+val validate : model -> unit
+(** Raises [Invalid_argument] on non-positive rates, non-finite rates,
+    [burst_len < 0], [period <= 0] or [burst_len > period]. *)
+
+val gap_ns : model -> seed:int -> index:int -> int
+(** [gap_ns model ~seed ~index] is the virtual-nanosecond gap between
+    request [index - 1] and request [index] (0-based; the first gap is
+    from time 0). Pure in [(model, seed, index)] and at least 1 ns, so
+    arrival times are strictly increasing. Raises like {!validate} on a
+    malformed model and [Invalid_argument] on a negative [index]. *)
+
+val arrivals : model -> seed:int -> n:int -> int array
+(** [arrivals model ~seed ~n] is the absolute arrival time of each of
+    the first [n] requests: the prefix sums of {!gap_ns}, strictly
+    increasing. *)

@@ -1,0 +1,73 @@
+type instance = { id : int; layout_seed : int }
+
+type t = {
+  capacity : int;
+  mutable idle : instance list;  (* most recently used first *)
+  mutable n_idle : int;
+  mutable last_ns : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ~capacity =
+  if capacity < 0 then invalid_arg "Pool.create: negative capacity";
+  {
+    capacity;
+    idle = [];
+    n_idle = 0;
+    last_ns = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let capacity t = t.capacity
+let size t = t.n_idle
+
+let touch t ~now_ns =
+  if now_ns < t.last_ns then
+    invalid_arg
+      (Printf.sprintf "Pool: time ran backwards (%d after %d)" now_ns
+         t.last_ns);
+  t.last_ns <- now_ns
+
+let acquire t ~now_ns =
+  touch t ~now_ns;
+  match t.idle with
+  | [] ->
+      t.misses <- t.misses + 1;
+      None
+  | inst :: rest ->
+      t.idle <- rest;
+      t.n_idle <- t.n_idle - 1;
+      t.hits <- t.hits + 1;
+      Some inst
+
+(* drop the last element — the least recently used. The idle list never
+   exceeds [capacity + 1] entries and capacities are small (a handful of
+   resident instances per cell), so the linear walk is fine. *)
+let rec drop_last = function
+  | [] | [ _ ] -> []
+  | x :: tl -> x :: drop_last tl
+
+let release t inst ~now_ns =
+  touch t ~now_ns;
+  if t.capacity = 0 then t.evictions <- t.evictions + 1
+  else begin
+    t.idle <- inst :: t.idle;
+    t.n_idle <- t.n_idle + 1;
+    if t.n_idle > t.capacity then begin
+      t.idle <- drop_last t.idle;
+      t.n_idle <- t.n_idle - 1;
+      t.evictions <- t.evictions + 1
+    end
+  end
+
+let hits t = t.hits
+let misses t = t.misses
+let evictions t = t.evictions
+
+let hit_rate t =
+  let total = t.hits + t.misses in
+  if total = 0 then 0. else float_of_int t.hits /. float_of_int total

@@ -1,0 +1,54 @@
+(** A bounded warm pool of instances, LRU-evicted.
+
+    The warm tier of the serving simulator: instances released after a
+    boot stay resident (their guest memory recycled through
+    {!Imk_memory.Arena} by the calibration boots, their randomized
+    layout frozen) and the next request that finds one skips the cold
+    boot. The pool is bounded — a host packs thousands of microVMs
+    precisely because idle ones are evicted — and eviction is
+    least-recently-used.
+
+    Determinism contract: the pool is plain sequential state, one per
+    campaign cell, driven with non-decreasing [now_ns] timestamps
+    (enforced with [Invalid_argument] — LRU order degenerates silently
+    if time runs backwards). {!acquire} returns the most recently used
+    instance (the hottest), eviction drops the least recently used. *)
+
+type instance = {
+  id : int;  (** creation order within the cell, 0-based *)
+  layout_seed : int;
+      (** fingerprint of the instance's randomized layout — frozen for
+          as long as the instance is reused warm *)
+}
+
+type t
+
+val create : capacity:int -> t
+(** [create ~capacity] is an empty pool retaining at most [capacity]
+    idle instances. [capacity = 0] is legal (every release evicts, every
+    acquire misses). Raises [Invalid_argument] on a negative capacity. *)
+
+val capacity : t -> int
+
+val size : t -> int
+(** Idle instances currently pooled; never exceeds {!capacity}. *)
+
+val acquire : t -> now_ns:int -> instance option
+(** [acquire t ~now_ns] takes the most recently used idle instance, or
+    [None] (a pool miss — the caller boots cold). Counted in
+    {!hits}/{!misses}. *)
+
+val release : t -> instance -> now_ns:int -> unit
+(** [release t inst ~now_ns] returns a served instance to the pool as
+    the most recently used. If the pool is full the least recently used
+    idle instance is evicted (counted in {!evictions}); with
+    [capacity = 0] the released instance itself is evicted. *)
+
+val hits : t -> int
+
+val misses : t -> int
+
+val evictions : t -> int
+
+val hit_rate : t -> float
+(** [hits / (hits + misses)], or [0.] before any acquire. *)

@@ -78,6 +78,24 @@ val diffcheck : ?runs:int -> ?mutate:bool -> Workspace.t -> output
     caught and prints a shrunk reproducer — an oracle that cannot fail
     is not evidence. *)
 
+val fleet : ?runs:int -> ?requests:int -> Workspace.t -> output
+(** Fleet serving campaign ({!Imk_fleet}, DESIGN.md §9): preset x
+    arrival model (poisson/bursty) x weather profile through the
+    deterministic serving simulator — a virtual-time request stream
+    scheduled onto bounded boot slots with a bounded warm pool and a
+    bounded admission queue. Per cell: served/dropped counts, pool hit
+    rate, cold vs warm sojourn p50/p99, queue wait p99, queue depth
+    p99, distinct served layouts; telemetry carries the cold-start /
+    warm-start / fault-start / queue-wait distributions. Service costs
+    are calibrated per preset from [max 4 runs] real supervised boots,
+    snapshot restores and fault-laden supervised boots ([requests]
+    simulated requests per cell then draw from them cyclically by
+    index). Calibration runs sequentially on the calling domain and
+    each cell's simulation is pure in its inputs, so the output is
+    bit-identical for any [--jobs]. A fault-laden calibration boot
+    that comes back green with no recovery event raises the
+    "SOUNDNESS VIOLATION" note prefix [bench/main.exe] fails on. *)
+
 val faults : ?runs:int -> Workspace.t -> output
 (** Deterministic fault-injection campaign: fault kinds x boot paths x
     seeds under {!Boot_supervisor} supervision. Reports, per cell, how

@@ -219,6 +219,7 @@ type delta = {
   baseline_p50 : float;
   current_p50 : float;
   change_pct : float;
+  degenerate : bool;
   regression : bool;
 }
 
@@ -240,16 +241,25 @@ let diff ?(threshold_pct = default_threshold_pct) ~baseline ~current () =
                 (cs.Imk_util.Stats.p50 -. bs.Imk_util.Stats.p50)
                 /. bs.Imk_util.Stats.p50 *. 100.
             in
+            (* a single-sample side has no distribution: its p90/p99
+               alias its p50 and its "p50" is one draw — a delta built
+               on one cannot be evidence of a regression *)
+            let degenerate =
+              bs.Imk_util.Stats.n < 2 || cs.Imk_util.Stats.n < 2
+            in
             {
               d_label = cur.label;
               d_phase;
               baseline_p50 = bs.Imk_util.Stats.p50;
               current_p50 = cs.Imk_util.Stats.p50;
               change_pct;
+              degenerate;
               (* only the headline total trips the gate; per-phase rows
                  are diagnostic (they tell you where a regression
                  lives, but phase shifts that cancel are not one) *)
-              regression = d_phase = None && change_pct > threshold_pct;
+              regression =
+                d_phase = None && (not degenerate)
+                && change_pct > threshold_pct;
             }
           in
           mk None base.total cur.total

@@ -97,6 +97,10 @@ type delta = {
   baseline_p50 : float;
   current_p50 : float;
   change_pct : float;  (** p50 change relative to baseline, percent *)
+  degenerate : bool;
+      (** either side has [n < 2]: the quantiles alias the single
+          sample, so the delta is reported but can never be a
+          [regression] *)
   regression : bool;
 }
 
@@ -107,8 +111,10 @@ val diff :
   ?threshold_pct:float -> baseline:file -> current:file -> unit -> delta list
 (** Per-label/per-phase p50 deltas for every label present in both
     files. Only headline-total deltas beyond [threshold_pct] are marked
-    [regression]; per-phase rows are diagnostic. Labels present in only
-    one file produce no delta — report them via {!missing_labels}. *)
+    [regression]; per-phase rows are diagnostic, and [degenerate]
+    deltas (either side a single sample) never trip the gate — one
+    draw is not a distribution. Labels present in only one file
+    produce no delta — report them via {!missing_labels}. *)
 
 val regressions : delta list -> delta list
 (** The deltas that trip the gate. *)

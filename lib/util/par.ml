@@ -20,6 +20,13 @@ let sequential tasks f =
 
 let map_tasks ?(jobs = 1) ~tasks f =
   if tasks < 0 then invalid_arg "Par.map_tasks: negative task count";
+  (* never spawn more domains than the runtime has cores for: OCaml 5
+     minor collections are stop-the-world barriers across every domain,
+     and domains beyond the core count multiply barrier latency (each
+     descheduled domain must be rescheduled just to reach the barrier)
+     without adding any parallelism. Results are stored per task slot
+     either way, so the clamp changes wall clock only. *)
+  let jobs = min jobs (max 1 (Domain.recommended_domain_count ())) in
   if jobs <= 1 || tasks <= 1 then sequential tasks f
   else begin
     let jobs = min jobs tasks in

@@ -14,8 +14,12 @@ val default_jobs : unit -> int
 val map_tasks : ?jobs:int -> tasks:int -> (worker:int -> int -> 'a) -> 'a array
 (** [map_tasks ~jobs ~tasks f] computes [|f ~worker 0; ...; f ~worker
     (tasks-1)|] on a pool of at most [jobs] domains ([worker] ranges over
-    [0 .. jobs-1]). With [jobs <= 1] (the default) or [tasks <= 1]
-    everything runs inline on the calling domain, in task order, with
-    [worker = 0] — the deterministic reference path. If any task raises,
-    no new chunks are issued and the first exception is re-raised (with
-    its backtrace) after all workers join. *)
+    [0 .. jobs-1]). The pool is additionally clamped to
+    [Domain.recommended_domain_count ()]: extra domains on a smaller
+    machine only add stop-the-world barrier latency, and the clamp is
+    observationally invisible (results are slotted per task). With an
+    effective [jobs <= 1] (the default) or [tasks <= 1] everything runs
+    inline on the calling domain, in task order, with [worker = 0] — the
+    deterministic reference path. If any task raises, no new chunks are
+    issued and the first exception is re-raised (with its backtrace)
+    after all workers join. *)

@@ -53,6 +53,40 @@ let summarize_array xs =
 
 let summarize xs = summarize_array (Array.of_list xs)
 
+(* the already-sorted variant exists for hot telemetry paths that sort
+   millions of integer-valued samples with a counting/radix pass:
+   [summarize_array]'s [Array.sort Float.compare] pays a closure call
+   per comparison and dominates entire fleet cells. Order is verified —
+   a misordered input would silently corrupt every quantile. *)
+let summarize_sorted xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.summarize: no samples";
+  Array.iter
+    (fun x ->
+      if not (Float.is_finite x) then
+        invalid_arg "Stats.summarize: non-finite sample")
+    xs;
+  for i = 1 to n - 1 do
+    if xs.(i - 1) > xs.(i) then
+      invalid_arg "Stats.summarize_sorted: samples not ascending"
+  done;
+  let sum = Array.fold_left ( +. ) 0. xs in
+  let mean = sum /. float_of_int n in
+  let var =
+    Array.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.)) 0. xs
+    /. float_of_int n
+  in
+  {
+    n;
+    mean;
+    min = xs.(0);
+    max = xs.(n - 1);
+    stddev = sqrt var;
+    p50 = percentile xs 50.;
+    p90 = percentile xs 90.;
+    p99 = percentile xs 99.;
+  }
+
 let empty =
   { n = 0; mean = 0.; min = 0.; max = 0.; stddev = 0.; p50 = 0.; p90 = 0.; p99 = 0. }
 

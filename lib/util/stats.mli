@@ -26,6 +26,17 @@ val summarize : float list -> summary
 val summarize_array : float array -> summary
 (** [summarize_array xs] is [summarize] over an array (not modified). *)
 
+val summarize_sorted : float array -> summary
+(** [summarize_sorted xs] is [summarize_array xs] for an [xs] the caller
+    has already sorted ascending, skipping the internal comparison sort.
+    Hot paths that sort large integer-valued samples with a radix pass
+    (e.g. fleet SLO telemetry) use this to avoid paying
+    [Array.sort Float.compare]'s closure-per-comparison cost twice.
+    Raises [Invalid_argument] if [xs] is empty, contains a non-finite
+    sample, or is not ascending. (Moments are accumulated in array
+    order, so the result can differ from [summarize_array] on the
+    unsorted array by float-rounding in [mean]/[stddev] only.) *)
+
 val empty : summary
 (** [empty] is the summary of a phase with no samples: [n = 0] and every
     moment zero. Reported instead of fabricating a fake [0.] sample when

@@ -1,0 +1,19 @@
+type stamp = { arrival_ns : int; start_ns : int; finish_ns : int }
+
+let stamp ~arrival_ns ~start_ns ~finish_ns =
+  if arrival_ns < 0 then
+    invalid_arg
+      (Printf.sprintf "Timeline.stamp: negative arrival %d" arrival_ns);
+  if start_ns < arrival_ns then
+    invalid_arg
+      (Printf.sprintf "Timeline.stamp: start %d before arrival %d" start_ns
+         arrival_ns);
+  if finish_ns < start_ns then
+    invalid_arg
+      (Printf.sprintf "Timeline.stamp: finish %d before start %d" finish_ns
+         start_ns);
+  { arrival_ns; start_ns; finish_ns }
+
+let queue_wait_ns s = s.start_ns - s.arrival_ns
+let service_ns s = s.finish_ns - s.start_ns
+let sojourn_ns s = s.finish_ns - s.arrival_ns

@@ -1,0 +1,33 @@
+(** Request timestamps on the virtual clock.
+
+    A serving simulation stamps every request three times — when it
+    arrives, when a server starts booting for it, and when the boot
+    finishes — all in virtual nanoseconds on the same axis the boot
+    itself charges ({!Clock}). The derived intervals are the SLO
+    quantities a fleet campaign reports: queue wait, service time and
+    sojourn (arrival to finish).
+
+    A stamp is validated at construction: time never runs backwards on
+    the virtual clock, so [arrival <= start <= finish] always, and a
+    violation is a scheduling bug that must surface immediately rather
+    than flow into telemetry as a negative latency. *)
+
+type stamp = private {
+  arrival_ns : int;  (** when the request entered the system *)
+  start_ns : int;  (** when a server began serving it *)
+  finish_ns : int;  (** when its boot (or restore) completed *)
+}
+
+val stamp : arrival_ns:int -> start_ns:int -> finish_ns:int -> stamp
+(** [stamp ~arrival_ns ~start_ns ~finish_ns] validates
+    [0 <= arrival_ns <= start_ns <= finish_ns] and raises
+    [Invalid_argument] otherwise. *)
+
+val queue_wait_ns : stamp -> int
+(** [start_ns - arrival_ns]: virtual time spent in the admission queue. *)
+
+val service_ns : stamp -> int
+(** [finish_ns - start_ns]: virtual time a server spent on the request. *)
+
+val sojourn_ns : stamp -> int
+(** [finish_ns - arrival_ns]: the latency the client observes. *)

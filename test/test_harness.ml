@@ -318,6 +318,18 @@ let test_baseline_gate () =
   let deltas = Telemetry.diff ~baseline:phase_shift ~current () in
   check int "phase deltas are diagnostic" 0
     (List.length (Telemetry.regressions deltas));
+  (* a single-sample side is degenerate: its quantiles alias the one
+     draw, so even a huge p50 change is reported but never a regression *)
+  let one_shot = mk_file [ mk_row "a" [ 5.0 ] []; mk_row "b" [ 20.0 ] [] ] in
+  let deltas = Telemetry.diff ~baseline:one_shot ~current () in
+  check int "degenerate deltas never regress" 0
+    (List.length (Telemetry.regressions deltas));
+  (match List.find_opt (fun d -> d.Telemetry.d_label = "a") deltas with
+  | Some d ->
+      check Alcotest.bool "marked degenerate" true d.Telemetry.degenerate;
+      check (Alcotest.float 1e-9) "the delta itself is still reported" 120.0
+        d.Telemetry.change_pct
+  | None -> Alcotest.fail "missing delta for label a");
   (* label drift is reported, not silently ignored *)
   let renamed = mk_file [ mk_row "c" [ 10.0 ] [] ] in
   let only_base, only_cur =
