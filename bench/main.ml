@@ -308,6 +308,29 @@ let micro () =
       (Staged.stage (fun () ->
            ignore (Imk_compress.Gzip.decode_payload payload ~orig_len)))
   in
+  (* the zero-copy boot-path primitives: the slice-by-8 CRC against its
+     byte-at-a-time reference (every frame check and plan-cache probe
+     pays this), and the sink decode against the allocating copy decode
+     it replaces in the loader *)
+  let crc32_test =
+    Test.make ~name:"crc32-256k"
+      (Staged.stage (fun () ->
+           ignore (Imk_util.Crc.crc32 sample 0 (Bytes.length sample))))
+  in
+  let crc32_ref_test =
+    Test.make ~name:"crc32-ref-256k"
+      (Staged.stage (fun () ->
+           ignore (Imk_util.Crc.crc32_ref sample 0 (Bytes.length sample))))
+  in
+  let gzip_into_test =
+    let compressed = Imk_compress.Gzip.codec.Imk_compress.Codec.compress sample in
+    let dst = Bytes.make (Bytes.length sample) '\000' in
+    Test.make ~name:"gzip-into"
+      (Staged.stage (fun () ->
+           ignore
+             (Imk_compress.Gzip.codec.Imk_compress.Codec.decompress_into
+                compressed ~dst ~dst_off:0)))
+  in
   let reloc_apply_test =
     let mem = Imk_memory.Guest_mem.create ~size:(64 * 1024 * 1024) in
     let phys = Imk_memory.Addr.default_phys_load in
@@ -319,12 +342,49 @@ let micro () =
              ~site_pa:(fun va -> va - Imk_memory.Addr.link_base + phys)
              ~new_va_of:(Imk_randomize.Kaslr.delta_new_va ~delta:0)))
   in
+  (* the snapshot pair: capture walks the booted guest's dirty ranges
+     (copy-free on the tracker), restore rebuilds a fresh guest from the
+     frames — the zygote-pool hot path *)
+  let boot_result =
+    let open Imk_monitor in
+    let cfg = small_cfg () in
+    let disk = Imk_storage.Disk.create () in
+    let cache = Imk_storage.Page_cache.create disk in
+    Imk_storage.Disk.add disk ~name:"bench.vmlinux"
+      built.Imk_kernel.Image.vmlinux;
+    Imk_storage.Disk.add disk ~name:"bench.relocs"
+      built.Imk_kernel.Image.relocs_bytes;
+    let vm =
+      Vm_config.make ~rando:Vm_config.Rando_kaslr
+        ~relocs_path:(Some "bench.relocs") ~mem_bytes:(64 * 1024 * 1024)
+        ~kernel_path:"bench.vmlinux" ~kernel_config:cfg ~seed:7L ()
+    in
+    let clock = Imk_vclock.Clock.create () in
+    let trace = Imk_vclock.Trace.create clock in
+    let ch = Imk_vclock.Charge.create trace Imk_vclock.Cost_model.default in
+    Vmm.boot ch cache vm
+  in
+  let snapshot_capture_test =
+    Test.make ~name:"snapshot-capture"
+      (Staged.stage (fun () ->
+           ignore (Imk_monitor.Snapshot.capture boot_result)))
+  in
+  let snapshot_restore_test =
+    let snap = Imk_monitor.Snapshot.capture boot_result in
+    let clock = Imk_vclock.Clock.create () in
+    let trace = Imk_vclock.Trace.create clock in
+    let ch = Imk_vclock.Charge.create trace Imk_vclock.Cost_model.default in
+    Test.make ~name:"snapshot-restore"
+      (Staged.stage (fun () ->
+           ignore (Imk_monitor.Snapshot.restore ch snap ~working_set_pages:64)))
+  in
   let tests =
     Test.make_grouped ~name:"primitives" ~fmt:"%s/%s"
       (codec_tests
       @ [
           reloc_test; shuffle_test; elf_test; relocs_decode_test; inflate_test;
-          reloc_apply_test;
+          crc32_test; crc32_ref_test; gzip_into_test; reloc_apply_test;
+          snapshot_capture_test; snapshot_restore_test;
         ])
   in
   let instances = [ Toolkit.Instance.monotonic_clock ] in

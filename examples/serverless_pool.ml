@@ -38,16 +38,16 @@ let boot_lambda ws ~variant ~rando ~seed =
    KSM-style merging is content-based, so location is irrelevant, and
    all-zero pages merge trivially so they are excluded *)
 let kernel_pages result =
-  let mem = Imk_memory.Guest_mem.raw result.Vmm.mem in
+  let mem = result.Vmm.mem in
   let page = 4096 in
   let zero_hash = Imk_util.Crc.crc32 (Bytes.make page '\000') 0 page in
   let p = result.Vmm.params in
   let lo = p.Imk_guest.Boot_params.phys_load in
-  let hi = min (Bytes.length mem) (lo + (8 * 1024 * 1024)) in
+  let hi = min (Imk_memory.Guest_mem.size mem) (lo + (8 * 1024 * 1024)) in
   let hashes = ref [] in
   let off = ref lo in
   while !off + page <= hi do
-    let h = Imk_util.Crc.crc32 mem !off page in
+    let h = Imk_memory.Guest_mem.crc32_range mem ~pa:!off ~len:page in
     if h <> zero_hash then hashes := h :: !hashes;
     off := !off + page
   done;

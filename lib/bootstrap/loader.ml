@@ -127,11 +127,18 @@ let run ?(hooks = default_hooks) ?choices ch mem ~bzimage ~staging_pa ~config
   (* 2. decompression (the data transformation is always real). The
      decompressor writes its output directly at the kernel's run
      location, so no separate segment-copy cost follows — matching the
-     real loader, where parse_elf only shifts segment boundaries. *)
-  let vmlinux, relocs_bytes =
+     real loader, where parse_elf only shifts segment boundaries. The
+     decode is zero-copy: one exact-size buffer receives vmlinux and the
+     relocation table straight from the framed payload, with no
+     intermediate full-image allocation or blit. [Bytes.create] is safe
+     uninitialized here: [unpack_payload_into] either fills all of it
+     (CRC-verified) or raises, and the buffer does not escape on
+     failure. *)
+  let image, relocs_bytes =
     Charge.span ch Trace.Decompression ("decompress-" ^ bzimage.Bzimage.codec)
       (fun () ->
-        let v, r = Bzimage.unpack_payload bzimage in
+        let img = Bytes.create uncompressed_len in
+        Bzimage.unpack_payload_into bzimage ~dst:img ~dst_off:0;
         (match (bzimage.Bzimage.variant, bzimage.Bzimage.codec) with
         | Bzimage.Standard, "none" ->
             (* unoptimized compression-none: "decompression" is a copy of
@@ -143,12 +150,22 @@ let run ?(hooks = default_hooks) ?choices ch mem ~bzimage ~staging_pa ~config
               (Cost_model.decompress_cost cm ~codec
                  ~out_bytes:(modeled config uncompressed_len))
         | Bzimage.None_optimized, _ -> ());
-        (v, r))
+        let relocs =
+          if bzimage.Bzimage.relocs_len = 0 then Bytes.empty
+          else
+            Bytes.sub img bzimage.Bzimage.vmlinux_len bzimage.Bzimage.relocs_len
+        in
+        (img, relocs))
   in
-  (* 3..6: parse, randomize, load, relocate — all Bootstrap Setup *)
+  (* 3..6: parse, randomize, load, relocate — all Bootstrap Setup. The
+     ELF parser reads [image] (vmlinux with the relocation table still
+     concatenated after it): every parse offset is bounds-checked against
+     the longer buffer exactly as against a trimmed copy, and no section
+     reaches past [vmlinux_len], so the trailing bytes are inert — this
+     is what lets the loader skip carving out a vmlinux copy. *)
   Charge.span ch Trace.Bootstrap_setup "loader-main" (fun () ->
       let elf =
-        try hooks.parse_vmlinux vmlinux
+        try hooks.parse_vmlinux image
         with Imk_elf.Parser.Malformed m -> fail "kernel ELF: %s" m
       in
       Charge.pay ch

@@ -122,15 +122,24 @@ let encode_payload input =
   done;
   Bitio.Writer.contents w
 
-let decode_payload b ~orig_len =
-  let r = Bitio.Reader.create b ~pos:0 in
+let decode_payload_into b ~src_off ~dst ~dst_off ~orig_len =
+  let r = Bitio.Reader.create b ~pos:src_off in
   let nblocks = Bitio.Reader.get_bits r 16 in
-  let out = Buffer.create orig_len in
+  let w = ref 0 in
   for _ = 1 to nblocks do
-    Buffer.add_bytes out (decode_block r)
+    let block = decode_block r in
+    let len = Bytes.length block in
+    if !w + len > orig_len then
+      raise (Codec.Corrupt "bzip2: stream length mismatch");
+    Bytes.blit block 0 dst (dst_off + !w) len;
+    w := !w + len
   done;
-  let res = Buffer.to_bytes out in
-  if Bytes.length res <> orig_len then raise (Codec.Corrupt "bzip2: stream length mismatch");
-  res
+  if !w <> orig_len then raise (Codec.Corrupt "bzip2: stream length mismatch")
 
-let codec = Codec.make ~name:"bzip2" ~encode:encode_payload ~decode:decode_payload
+let decode_payload b ~orig_len =
+  let out = Bytes.create orig_len in
+  decode_payload_into b ~src_off:0 ~dst:out ~dst_off:0 ~orig_len;
+  out
+
+let codec =
+  Codec.make ~name:"bzip2" ~encode:encode_payload ~decode_into:decode_payload_into

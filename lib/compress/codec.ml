@@ -4,6 +4,7 @@ type t = {
   name : string;
   compress : bytes -> bytes;
   decompress : bytes -> bytes;
+  decompress_into : bytes -> dst:bytes -> dst_off:int -> int;
 }
 
 let magic = 0x494d4b43 (* "IMKC" *)
@@ -24,7 +25,10 @@ let max_orig_len = 1 lsl 30
 (* kernels are well under 1 GiB; anything larger in a header is corruption
    and must not drive decoder allocations *)
 
-let unframe ~name b =
+(* header validation without touching the payload: [unframe] adds the
+   payload copy for the allocating path, [decompress_into] decodes from
+   the frame in place at offset [header_len] *)
+let parse_header ~name b =
   if Bytes.length b < header_len then raise (Corrupt "frame: truncated header");
   if Imk_util.Byteio.get_u32 b 0 <> magic then raise (Corrupt "frame: bad magic");
   if Imk_util.Byteio.get_u32 b 4 <> name_hash name then
@@ -33,30 +37,48 @@ let unframe ~name b =
     try Imk_util.Byteio.get_addr b 8
     with Invalid_argument _ -> raise (Corrupt "frame: implausible length")
   in
-  if orig_len > max_orig_len then raise (Corrupt "frame: implausible length");
+  if orig_len < 0 || orig_len > max_orig_len then
+    raise (Corrupt "frame: implausible length");
   let crc = Imk_util.Byteio.get_u32 b 16 in
+  (orig_len, crc)
+
+let unframe ~name b =
+  let orig_len, crc = parse_header ~name b in
   (orig_len, crc, Bytes.sub b header_len (Bytes.length b - header_len))
 
 let check_crc ~orig_crc data =
   if Imk_util.Crc.crc32 data 0 (Bytes.length data) <> orig_crc then
     raise (Corrupt "frame: CRC mismatch after decompression")
 
-let make ~name ~encode ~decode =
+let make ~name ~encode ~decode_into =
   let compress input = frame ~name ~orig:input ~payload:(encode input) in
+  let run_decode b ~src_off ~dst ~dst_off ~orig_len =
+    (* malformed payloads surface as low-level exceptions from the
+       bit readers and range coders; all of them mean one thing here *)
+    try decode_into b ~src_off ~dst ~dst_off ~orig_len with
+    | Corrupt _ as e -> raise e
+    | Bitio.Reader.Truncated -> raise (Corrupt (name ^ ": truncated bitstream"))
+    | Invalid_argument m -> raise (Corrupt (name ^ ": malformed stream: " ^ m))
+    | Failure m -> raise (Corrupt (name ^ ": malformed stream: " ^ m))
+  in
   let decompress framed =
     let orig_len, crc, payload = unframe ~name framed in
-    let out =
-      (* malformed payloads surface as low-level exceptions from the
-         bit readers and range coders; all of them mean one thing here *)
-      try decode payload ~orig_len with
-      | Corrupt _ as e -> raise e
-      | Bitio.Reader.Truncated -> raise (Corrupt (name ^ ": truncated bitstream"))
-      | Invalid_argument m -> raise (Corrupt (name ^ ": malformed stream: " ^ m))
-      | Failure m -> raise (Corrupt (name ^ ": malformed stream: " ^ m))
-    in
-    if Bytes.length out <> orig_len then
-      raise (Corrupt "frame: decompressed length mismatch");
+    let out = Bytes.create orig_len in
+    run_decode payload ~src_off:0 ~dst:out ~dst_off:0 ~orig_len;
     check_crc ~orig_crc:crc out;
     out
   in
-  { name; compress; decompress }
+  let decompress_into framed ~dst ~dst_off =
+    if dst_off < 0 || dst_off > Bytes.length dst then
+      invalid_arg "Codec.decompress_into: dst_off";
+    let orig_len, crc = parse_header ~name framed in
+    (* [orig_len] comes from the (untrusted) frame, so a window that
+       does not fit is corruption, never a caller bug *)
+    if orig_len > Bytes.length dst - dst_off then
+      raise (Corrupt "frame: output exceeds destination");
+    run_decode framed ~src_off:header_len ~dst ~dst_off ~orig_len;
+    if Imk_util.Crc.crc32 dst dst_off orig_len <> crc then
+      raise (Corrupt "frame: CRC mismatch after decompression");
+    orig_len
+  in
+  { name; compress; decompress; decompress_into }

@@ -13,12 +13,28 @@
     transformation. *)
 
 exception Corrupt of string
-(** Raised by [decompress] on malformed or integrity-failing input. *)
+(** Raised by [decompress] / [decompress_into] on malformed or
+    integrity-failing input. *)
 
 type t = {
   name : string;  (** "none", "lz4", "lzo", "gzip", "bzip2", "xz", "lzma" *)
   compress : bytes -> bytes;
   decompress : bytes -> bytes;
+      (** The allocating copy-decode path: extracts the payload and
+          returns a fresh buffer of the original data. *)
+  decompress_into : bytes -> dst:bytes -> dst_off:int -> int;
+      (** [decompress_into framed ~dst ~dst_off] decodes straight from
+          the frame into the caller-owned window starting at [dst_off],
+          returning the number of bytes written (the frame's original
+          length) — no intermediate payload copy or output allocation.
+          Write confinement: no byte outside
+          [\[dst_off, dst_off + orig_len)] is ever written, even on
+          corrupt input (on failure the window's contents are
+          unspecified, everything outside it is untouched). Raises
+          {!Corrupt} when the frame is malformed, fails its CRC, or
+          claims an original length that does not fit in [dst];
+          [Invalid_argument] only for an out-of-range [dst_off] (a
+          caller bug, not input). *)
 }
 
 val frame : name:string -> orig:bytes -> payload:bytes -> bytes
@@ -34,7 +50,16 @@ val check_crc : orig_crc:int -> bytes -> unit
 (** [check_crc ~orig_crc data] raises {!Corrupt} if the CRC-32 of [data]
     differs from [orig_crc]. *)
 
-val make : name:string -> encode:(bytes -> bytes) -> decode:(bytes -> orig_len:int -> bytes) -> t
-(** [make ~name ~encode ~decode] lifts a raw payload codec into the framed
-    interface, adding header handling and the CRC check. [decode] receives
-    the expected output length from the frame so codecs can preallocate. *)
+val make :
+  name:string ->
+  encode:(bytes -> bytes) ->
+  decode_into:
+    (bytes -> src_off:int -> dst:bytes -> dst_off:int -> orig_len:int -> unit) ->
+  t
+(** [make ~name ~encode ~decode_into] lifts a raw payload codec into the
+    framed interface, adding header handling and the CRC check.
+    [decode_into b ~src_off ~dst ~dst_off ~orig_len] must decode the
+    payload found at [src_off] (extending to the end of [b]) into
+    exactly [orig_len] bytes at [dst_off], confining every write to that
+    window; both [decompress] (via a fresh output buffer) and
+    [decompress_into] (in place on the frame) are derived from it. *)

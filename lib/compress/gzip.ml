@@ -80,13 +80,13 @@ let encode_payload input =
   Huffman.encode lit_enc w eob;
   Bitio.Writer.contents w
 
-let decode_payload b ~orig_len =
-  let r = Bitio.Reader.create b ~pos:0 in
+let decode_payload_into b ~src_off ~dst ~dst_off ~orig_len =
+  let r = Bitio.Reader.create b ~pos:src_off in
   let lit_lens = Huffman.read_lengths r n_litlen in
   let dist_lens = Huffman.read_lengths r n_dist in
   let lit_dec = Huffman.decoder_of_lengths lit_lens in
   let dist_dec = Huffman.decoder_of_lengths dist_lens in
-  Lz77.with_output ~orig_len (fun ~lit ~cpy ->
+  Lz77.into_output ~dst ~dst_off ~orig_len (fun ~lit ~cpy ->
       let rec go () =
         let sym = Huffman.decode lit_dec r in
         if sym < 256 then begin
@@ -107,4 +107,10 @@ let decode_payload b ~orig_len =
       in
       go ())
 
-let codec = Codec.make ~name:"gzip" ~encode:encode_payload ~decode:decode_payload
+let decode_payload b ~orig_len =
+  let out = Bytes.create orig_len in
+  decode_payload_into b ~src_off:0 ~dst:out ~dst_off:0 ~orig_len;
+  out
+
+let codec =
+  Codec.make ~name:"gzip" ~encode:encode_payload ~decode_into:decode_payload_into

@@ -41,9 +41,9 @@ let encode_payload input =
   flush_sequence buf literals ~m:None;
   Buffer.to_bytes buf
 
-let decode_payload b ~orig_len =
+let decode_payload_into b ~src_off ~dst ~dst_off ~orig_len =
   let n = Bytes.length b in
-  let pos = ref 0 in
+  let pos = ref src_off in
   let byte () =
     if !pos >= n then raise (Codec.Corrupt "lz4: truncated");
     let c = Char.code (Bytes.get b !pos) in
@@ -63,14 +63,16 @@ let decode_payload b ~orig_len =
       !total
     end
   in
-  let out = Bytes.create orig_len in
+  (* write confinement: every store below is at dst_off + w + k with
+     w + k < w + len <= orig_len (checked per token), every load from
+     dst is at dst_off + w + k - dist >= dst_off since dist <= w *)
   let w = ref 0 in
   let rec sequence () =
     let token = byte () in
     let lit_len = ext (token lsr 4) in
     if !w + lit_len > orig_len || !pos + lit_len > n then
       raise (Codec.Corrupt "lz4: literal run overflow");
-    Bytes.blit b !pos out !w lit_len;
+    Bytes.blit b !pos dst (dst_off + !w) lit_len;
     pos := !pos + lit_len;
     w := !w + lit_len;
     if !pos < n then begin
@@ -81,14 +83,19 @@ let decode_payload b ~orig_len =
       if dist = 0 || dist > !w then raise (Codec.Corrupt "lz4: bad distance");
       if !w + len > orig_len then raise (Codec.Corrupt "lz4: match overflow");
       for k = 0 to len - 1 do
-        Bytes.set out (!w + k) (Bytes.get out (!w + k - dist))
+        Bytes.set dst (dst_off + !w + k) (Bytes.get dst (dst_off + !w + k - dist))
       done;
       w := !w + len;
       sequence ()
     end
   in
-  if orig_len > 0 || n > 0 then sequence ();
-  if !w <> orig_len then raise (Codec.Corrupt "lz4: short stream");
+  if orig_len > 0 || n > src_off then sequence ();
+  if !w <> orig_len then raise (Codec.Corrupt "lz4: short stream")
+
+let decode_payload b ~orig_len =
+  let out = Bytes.create orig_len in
+  decode_payload_into b ~src_off:0 ~dst:out ~dst_off:0 ~orig_len;
   out
 
-let codec = Codec.make ~name:"lz4" ~encode:encode_payload ~decode:decode_payload
+let codec =
+  Codec.make ~name:"lz4" ~encode:encode_payload ~decode_into:decode_payload_into

@@ -40,22 +40,47 @@ val parse : config -> bytes -> f:(token -> unit) -> unit
     token. Concatenating the tokens (literals verbatim, matches resolved
     against already-produced output) reconstructs [input] exactly. *)
 
+val into_output :
+  dst:bytes ->
+  dst_off:int ->
+  orig_len:int ->
+  (lit:(char -> unit) -> cpy:(dist:int -> len:int -> unit) -> unit) ->
+  unit
+(** [into_output ~dst ~dst_off ~orig_len produce] replays a token stream
+    into the caller-owned window [\[dst_off, dst_off + orig_len)] of
+    [dst] without materializing tokens: [produce] receives a literal
+    sink and a match-copy sink and calls them in stream order. Each copy
+    validates its whole range once (distance within produced output, end
+    within [orig_len]) and then moves bytes with [Bytes.blit], or with
+    an unsafe forward byte-replication loop when the match overlaps its
+    own output — the audited unsafe-after-validation pattern
+    (DESIGN.md §4.7). Write confinement: no byte outside the window is
+    ever written, even on corrupt streams, which is what lets codecs
+    decode straight into guest-destined buffers. Raises [Codec.Corrupt]
+    on any overflow or bad distance; [Invalid_argument] only if the
+    window itself does not fit in [dst] (a caller bug, not input). The
+    hot decode path for gzip; LZ4/LZO reach it through
+    {!apply_tokens_into}. *)
+
 val with_output :
   orig_len:int ->
   (lit:(char -> unit) -> cpy:(dist:int -> len:int -> unit) -> unit) ->
   bytes
-(** [with_output ~orig_len produce] replays a token stream into a fresh
-    buffer of exactly [orig_len] bytes without materializing tokens:
-    [produce] receives a literal sink and a match-copy sink and calls
-    them in stream order. Each copy validates its whole range once
-    (distance within produced output, end within [orig_len]) and then
-    moves bytes with [Bytes.blit], or with an unsafe forward
-    byte-replication loop when the match overlaps its own output —
-    the audited unsafe-after-validation pattern (DESIGN.md §4).
-    Raises [Codec.Corrupt] on any overflow or bad distance. The hot
-    decode path for gzip; LZ4/LZO reach it through {!apply_tokens}. *)
+(** [with_output ~orig_len produce] is {!into_output} into a fresh
+    buffer of exactly [orig_len] bytes — the allocating copy-decode
+    path. *)
+
+val apply_tokens_into :
+  dst:bytes ->
+  dst_off:int ->
+  orig_len:int ->
+  ((token -> unit) -> unit) ->
+  unit
+(** [apply_tokens_into ~dst ~dst_off ~orig_len produce] is
+    {!into_output} for a producer that emits {!token} values. Raises
+    [Codec.Corrupt] if tokens overflow the window or a match reaches
+    before the start. *)
 
 val apply_tokens : orig_len:int -> (((token -> unit) -> unit)) -> bytes
-(** [apply_tokens ~orig_len produce] is {!with_output} for a producer
-    that emits {!token} values. Raises [Codec.Corrupt] if tokens
-    overflow the buffer or a match reaches before the start. *)
+(** [apply_tokens ~orig_len produce] is {!apply_tokens_into} into a
+    fresh buffer of exactly [orig_len] bytes. *)

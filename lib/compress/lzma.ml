@@ -62,15 +62,17 @@ let encode_payload input =
   Lz77.parse Lz77.lzma_config input ~f:emit;
   Range_coder.Encoder.finish e
 
-let decode_payload b ~orig_len =
-  let d = Range_coder.Decoder.create b ~pos:0 in
+let decode_payload_into b ~src_off ~dst ~dst_off ~orig_len =
+  let d = Range_coder.Decoder.create b ~pos:src_off in
   let m = make_models () in
-  let out = Bytes.create orig_len in
+  (* write confinement: stores land at dst_off + w (+ k) with
+     w (+ k) < orig_len checked per decision; loads from dst are at
+     dst_off + w + k - dist >= dst_off since dist <= w *)
   let w = ref 0 and prev_byte = ref 0 and prev_match = ref 0 in
   while !w < orig_len do
     if Range_coder.Decoder.decode_bit d m.is_match !prev_match = 0 then begin
       let c = Range_coder.Decoder.decode_tree d m.literal.(lit_ctx !prev_byte) 8 in
-      Bytes.set out !w (Char.chr c);
+      Bytes.set dst (dst_off + !w) (Char.chr c);
       prev_byte := c;
       prev_match := 0;
       incr w
@@ -93,13 +95,18 @@ let decode_payload b ~orig_len =
       if dist > !w then raise (Codec.Corrupt "lzma: distance before start");
       if !w + len > orig_len then raise (Codec.Corrupt "lzma: match overflow");
       for k = 0 to len - 1 do
-        Bytes.set out (!w + k) (Bytes.get out (!w + k - dist))
+        Bytes.set dst (dst_off + !w + k) (Bytes.get dst (dst_off + !w + k - dist))
       done;
       w := !w + len;
-      prev_byte := Char.code (Bytes.get out (!w - 1));
+      prev_byte := Char.code (Bytes.get dst (dst_off + !w - 1));
       prev_match := 1
     end
-  done;
+  done
+
+let decode_payload b ~orig_len =
+  let out = Bytes.create orig_len in
+  decode_payload_into b ~src_off:0 ~dst:out ~dst_off:0 ~orig_len;
   out
 
-let codec = Codec.make ~name:"lzma" ~encode:encode_payload ~decode:decode_payload
+let codec =
+  Codec.make ~name:"lzma" ~encode:encode_payload ~decode_into:decode_payload_into

@@ -26,16 +26,16 @@ let encode_payload input =
   flush_literals buf literals;
   Buffer.to_bytes buf
 
-let decode_payload b ~orig_len =
+let decode_payload_into b ~src_off ~dst ~dst_off ~orig_len =
   let n = Bytes.length b in
-  let pos = ref 0 in
+  let pos = ref src_off in
   let byte () =
     if !pos >= n then raise (Codec.Corrupt "lzo: truncated");
     let c = Char.code (Bytes.get b !pos) in
     incr pos;
     c
   in
-  Lz77.apply_tokens ~orig_len (fun consume ->
+  Lz77.apply_tokens_into ~dst ~dst_off ~orig_len (fun consume ->
       while !pos < n do
         let c = byte () in
         if c < 0x80 then
@@ -53,4 +53,10 @@ let decode_payload b ~orig_len =
         end
       done)
 
-let codec = Codec.make ~name:"lzo" ~encode:encode_payload ~decode:decode_payload
+let decode_payload b ~orig_len =
+  let out = Bytes.create orig_len in
+  decode_payload_into b ~src_off:0 ~dst:out ~dst_off:0 ~orig_len;
+  out
+
+let codec =
+  Codec.make ~name:"lzo" ~encode:encode_payload ~decode_into:decode_payload_into

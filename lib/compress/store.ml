@@ -1,7 +1,7 @@
 let codec =
   Codec.make ~name:"none"
     ~encode:(fun input -> Bytes.copy input)
-    ~decode:(fun payload ~orig_len ->
-      if Bytes.length payload <> orig_len then
+    ~decode_into:(fun b ~src_off ~dst ~dst_off ~orig_len ->
+      if Bytes.length b - src_off <> orig_len then
         raise (Codec.Corrupt "store: length mismatch");
-      Bytes.copy payload)
+      Bytes.blit b src_off dst dst_off orig_len)

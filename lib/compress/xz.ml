@@ -8,14 +8,15 @@ let encode_payload input =
   Bytes.blit inner 0 out 5 (Bytes.length inner);
   out
 
-let decode_payload b ~orig_len =
-  if Bytes.length b < 5 then raise (Codec.Corrupt "xz: truncated container");
-  if Imk_util.Byteio.get_u8 b 0 <> stream_flags then
+let decode_payload_into b ~src_off ~dst ~dst_off ~orig_len =
+  let n = Bytes.length b in
+  if n - src_off < 5 then raise (Codec.Corrupt "xz: truncated container");
+  if Imk_util.Byteio.get_u8 b src_off <> stream_flags then
     raise (Codec.Corrupt "xz: unsupported stream flags");
-  let crc = Imk_util.Byteio.get_u32 b 1 in
-  let inner = Bytes.sub b 5 (Bytes.length b - 5) in
-  if Imk_util.Crc.crc32 inner 0 (Bytes.length inner) <> crc then
+  let crc = Imk_util.Byteio.get_u32 b (src_off + 1) in
+  if Imk_util.Crc.crc32 b (src_off + 5) (n - src_off - 5) <> crc then
     raise (Codec.Corrupt "xz: compressed payload CRC mismatch");
-  Lzma.decode_payload inner ~orig_len
+  Lzma.decode_payload_into b ~src_off:(src_off + 5) ~dst ~dst_off ~orig_len
 
-let codec = Codec.make ~name:"xz" ~encode:encode_payload ~decode:decode_payload
+let codec =
+  Codec.make ~name:"xz" ~encode:encode_payload ~decode_into:decode_payload_into

@@ -937,14 +937,14 @@ let ablation_page_sharing ws =
      construction since the span covers the loaded image) *)
   let zero_hash = Imk_util.Crc.crc32 (Bytes.make 4096 '\000') 0 4096 in
   let page_hash_list r =
-    let mem = Imk_memory.Guest_mem.raw r.Vmm.mem in
+    let mem = r.Vmm.mem in
     let page = 4096 in
     let lo = r.Vmm.params.Imk_guest.Boot_params.phys_load in
-    let hi = min (Bytes.length mem) (lo + (8 * 1024 * 1024)) in
+    let hi = min (Imk_memory.Guest_mem.size mem) (lo + (8 * 1024 * 1024)) in
     let hashes = ref [] in
     let off = ref lo in
     while !off + page <= hi do
-      let h = Imk_util.Crc.crc32 mem !off page in
+      let h = Imk_memory.Guest_mem.crc32_range mem ~pa:!off ~len:page in
       (* all-zero pages merge trivially and say nothing about layouts *)
       if h <> zero_hash then hashes := h :: !hashes;
       off := !off + page

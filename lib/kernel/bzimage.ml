@@ -127,6 +127,14 @@ let decode b =
     relocs_len;
   }
 
+let unpack_payload_into t ~dst ~dst_off =
+  let codec_impl = Imk_compress.Registry.find t.codec in
+  let written =
+    codec_impl.Imk_compress.Codec.decompress_into t.payload ~dst ~dst_off
+  in
+  if written <> t.vmlinux_len + t.relocs_len then
+    raise (Malformed "payload length does not match header")
+
 let unpack_payload t =
   let codec_impl = Imk_compress.Registry.find t.codec in
   let raw = codec_impl.Imk_compress.Codec.decompress t.payload in

@@ -165,3 +165,42 @@ let raw t =
      guest is dirty so arena recycling can never leak stale bytes *)
   touch t 0 (Bytes.length t.data);
   t.data
+
+(* --- read-only bulk accessors: none of these touch the dirty tracker,
+   which is the point — snapshot capture and page hashing must observe a
+   guest without inflating the next arena scrub into a whole-guest
+   re-zero (the failure mode of going through [raw]) --- *)
+
+let fold_dirty_ranges t ~init ~f =
+  let n = t.nranges in
+  if n = 0 then init
+  else begin
+    (* normalize the tracker's possibly-overlapping slots into sorted,
+       merged ranges so callers see each dirty byte exactly once *)
+    let rs = Array.init n (fun j -> (t.range_lo.(j), t.range_hi.(j))) in
+    Array.sort (fun (a, _) (b, _) -> Int.compare a b) rs;
+    let acc = ref init in
+    let lo = ref (fst rs.(0)) and hi = ref (snd rs.(0)) in
+    for j = 1 to n - 1 do
+      let l, h = rs.(j) in
+      if l <= !hi then begin
+        if h > !hi then hi := h
+      end
+      else begin
+        acc := f !acc ~lo:!lo ~hi:!hi;
+        lo := l;
+        hi := h
+      end
+    done;
+    f !acc ~lo:!lo ~hi:!hi
+  end
+
+let blit_to_bytes t ~pa ~dst ~dst_off ~len =
+  check t pa len "read blit";
+  if dst_off < 0 || len > Bytes.length dst - dst_off then
+    invalid_arg "Guest_mem.blit_to_bytes: destination range";
+  Bytes.blit t.data pa dst dst_off len
+
+let crc32_range t ~pa ~len =
+  check t pa len "crc probe";
+  Imk_util.Crc.crc32 t.data pa len

@@ -78,5 +78,30 @@ val get_i64 : t -> pa:int -> int64
 
 val raw : t -> bytes
 (** [raw t] exposes the backing store for read-mostly bulk operations
-    (e.g. hashing a region in tests). Mutating it bypasses no invariants —
-    guest memory has none beyond bounds — but prefer the checked ops. *)
+    (e.g. byte-equality checks in tests). Because writes through the
+    escaped buffer are invisible to the tracker, taking [raw]
+    conservatively dirties the whole guest — which turns the next
+    {!Arena} scrub into a full re-zero. Production code must use the
+    read-only accessors below instead ([lint.sh] bans new [raw] call
+    sites outside an explicit allowlist). *)
+
+val fold_dirty_ranges :
+  t -> init:'a -> f:('a -> lo:int -> hi:int -> 'a) -> 'a
+(** [fold_dirty_ranges t ~init ~f] folds [f] over the dirty ranges as
+    sorted, merged half-open [\[lo, hi)] intervals — every byte written
+    since creation or the last {!scrub}, each seen exactly once. Read
+    only: the tracker is not modified, so capturing a snapshot from the
+    fold leaves the guest's scrub cost untouched. *)
+
+val blit_to_bytes : t -> pa:int -> dst:bytes -> dst_off:int -> len:int -> unit
+(** [blit_to_bytes t ~pa ~dst ~dst_off ~len] copies [len] bytes starting
+    at physical address [pa] into [dst] at [dst_off] without going
+    through {!raw} — a read, so the dirty tracker is untouched. Raises
+    {!Fault} if the source range is outside guest memory and
+    [Invalid_argument] if the destination range is out of bounds. *)
+
+val crc32_range : t -> pa:int -> len:int -> int
+(** [crc32_range t ~pa ~len] is the CRC-32 of the given physical range,
+    computed on the backing store without copying and without touching
+    the dirty tracker — the page-hashing / layout-probe primitive.
+    Raises {!Fault} if the range is out of bounds. *)

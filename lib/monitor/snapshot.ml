@@ -1,40 +1,67 @@
 open Imk_memory
 open Imk_vclock
 
+(* A snapshot is the guest's dirty ranges, framed — not a flat copy of the
+   whole guest. Everything outside the frames is zero by the Guest_mem
+   invariant (a guest starts all-zero and every write is tracked), so the
+   frames reconstruct the full image exactly while costing memory and
+   copies proportional to what the boot actually wrote. Capture reads
+   through the tracker's read-only accessors and leaves it untouched: the
+   source guest's next arena scrub stays proportional to its boot, not to
+   a whole-guest re-zero. *)
 type t = {
-  memory : bytes;  (** full guest image *)
+  mem_size : int;  (** guest size the frames reconstruct *)
+  frames : (int * bytes) list;  (** (pa, data), sorted, non-overlapping *)
   params : Imk_guest.Boot_params.t;
   config : Vm_config.t;
 }
 
 let capture (r : Vmm.boot_result) =
+  let mem = r.Vmm.mem in
+  let frames =
+    List.rev
+      (Guest_mem.fold_dirty_ranges mem ~init:[] ~f:(fun acc ~lo ~hi ->
+           let len = hi - lo in
+           (* audited Bytes.create: fully overwritten by the blit below *)
+           let data = Bytes.create len in
+           Guest_mem.blit_to_bytes mem ~pa:lo ~dst:data ~dst_off:0 ~len;
+           (lo, data) :: acc))
+  in
   {
-    memory = Bytes.copy (Guest_mem.raw r.Vmm.mem);
+    mem_size = Guest_mem.size mem;
+    frames;
     params = r.Vmm.params;
     config = r.Vmm.config;
   }
 
-let encoded_bytes t = Bytes.length t.memory
-
-(* --- on-disk format: header + params + memory image + CRC32 trailer ---
+(* --- on-disk format: header + params + dirty-range frames + CRC32
+   trailer ---
 
    Byte-exact serialization so snapshots can live on the simulated disk
-   (zygote pools, cross-host migration). The trailing CRC32 covers
-   everything before it: any bit flip or truncation fails [load] with the
-   typed [Corrupt] instead of restoring garbage into a guest. *)
+   (zygote pools, cross-host migration). Version 2 stores the dirty
+   ranges as (pa, len, data) frames instead of the whole guest image —
+   the blob shrinks from guest size to bytes actually written. The
+   trailing CRC32 covers everything before it: any bit flip or
+   truncation fails [load] with the typed [Corrupt] instead of restoring
+   garbage into a guest. *)
 
 exception Corrupt of string
 
 let snap_magic = 0x494d4b53 (* "IMKS" *)
-let snap_version = 1
+let snap_version = 2
 let header_bytes = 112
+
+let frames_bytes t =
+  List.fold_left (fun acc (_, d) -> acc + 16 + Bytes.length d) 0 t.frames
+
+let encoded_bytes t = header_bytes + 4 + frames_bytes t + 4
 
 let serialize t =
   let module B = Imk_util.Byteio in
   let p = t.params in
   let k = p.Imk_guest.Boot_params.kernel in
-  let mem_len = Bytes.length t.memory in
-  let out = Bytes.make (header_bytes + mem_len + 4) '\000' in
+  let total = encoded_bytes t in
+  let out = Bytes.make total '\000' in
   B.set_u32 out 0 snap_magic;
   B.set_u32 out 4 snap_version;
   B.set_addr out 8 p.Imk_guest.Boot_params.phys_load;
@@ -61,17 +88,25 @@ let serialize t =
   B.set_u32 out 88 flags;
   B.set_addr out 92
     (match p.Imk_guest.Boot_params.setup_data_pa with None -> 0 | Some v -> v);
-  B.set_addr out 100 mem_len;
-  Bytes.blit t.memory 0 out header_bytes mem_len;
-  B.set_u32 out (header_bytes + mem_len)
-    (Imk_util.Crc.crc32 out 0 (header_bytes + mem_len));
+  B.set_addr out 100 t.mem_size;
+  B.set_u32 out header_bytes (List.length t.frames);
+  let pos = ref (header_bytes + 4) in
+  List.iter
+    (fun (pa, data) ->
+      let len = Bytes.length data in
+      B.set_addr out !pos pa;
+      B.set_addr out (!pos + 8) len;
+      Bytes.blit data 0 out (!pos + 16) len;
+      pos := !pos + 16 + len)
+    t.frames;
+  B.set_u32 out (total - 4) (Imk_util.Crc.crc32 out 0 (total - 4));
   out
 
 let load ~config b =
   let module B = Imk_util.Byteio in
   let corrupt msg = raise (Corrupt ("Snapshot.load: " ^ msg)) in
   let len = Bytes.length b in
-  if len < header_bytes + 4 then corrupt "truncated header";
+  if len < header_bytes + 8 then corrupt "truncated header";
   if B.get_u32 b 0 <> snap_magic then corrupt "bad magic";
   if B.get_u32 b 4 <> snap_version then corrupt "unsupported version";
   if B.get_u32 b (len - 4) <> Imk_util.Crc.crc32 b 0 (len - 4) then
@@ -79,8 +114,8 @@ let load ~config b =
   let addr off =
     try B.get_addr b off with Invalid_argument m -> corrupt m
   in
-  let mem_len = addr 100 in
-  if header_bytes + mem_len + 4 <> len then corrupt "memory length mismatch";
+  let mem_size = addr 100 in
+  if mem_size <= 0 then corrupt "implausible memory size";
   let flags = B.get_u32 b 88 in
   let kernel =
     {
@@ -105,13 +140,47 @@ let load ~config b =
       setup_data_pa = (if flags land 8 <> 0 then Some (addr 92) else None);
     }
   in
-  { memory = Bytes.sub b header_bytes mem_len; params; config }
+  (* frame walk: every length is validated against the remaining blob
+     before it drives a copy, and frames must be sorted, non-overlapping
+     and inside the guest — the canonical form [serialize] emits *)
+  let nframes = B.get_u32 b header_bytes in
+  let data_end = len - 4 in
+  let pos = ref (header_bytes + 4) in
+  let prev_hi = ref 0 in
+  let frames = ref [] in
+  for _ = 1 to nframes do
+    if !pos + 16 > data_end then corrupt "truncated frame header";
+    let pa = addr !pos in
+    let flen = addr (!pos + 8) in
+    if flen < 0 || pa < !prev_hi || pa > mem_size - flen then
+      corrupt "frame outside guest or out of order";
+    if flen > data_end - (!pos + 16) then corrupt "truncated frame data";
+    frames := (pa, Bytes.sub b (!pos + 16) flen) :: !frames;
+    prev_hi := pa + flen;
+    pos := !pos + 16 + flen
+  done;
+  if !pos <> data_end then corrupt "trailing bytes after frames";
+  { mem_size; frames = List.rev !frames; params; config }
+
+(* reconstruct a read-only window of the captured image: zeros overlaid
+   with the intersecting frames — used by the layout probe, which must
+   hash exactly the bytes the old full-image format hashed *)
+let read_range t ~pa ~len =
+  let out = Bytes.make len '\000' in
+  List.iter
+    (fun (fpa, data) ->
+      let flen = Bytes.length data in
+      let lo = max pa fpa and hi = min (pa + len) (fpa + flen) in
+      if lo < hi then Bytes.blit data (lo - fpa) out (lo - pa) (hi - lo))
+    t.frames;
+  out
 
 let layout_seed_of t =
   let text_pa = t.params.Imk_guest.Boot_params.phys_load in
-  let probe = min (256 * 1024) (Bytes.length t.memory - text_pa) in
+  let probe = max 0 (min (256 * 1024) (t.mem_size - text_pa)) in
+  let window = read_range t ~pa:text_pa ~len:probe in
   t.params.Imk_guest.Boot_params.virt_base
-  lxor Imk_util.Crc.crc32 t.memory text_pa probe
+  lxor Imk_util.Crc.crc32 window 0 probe
 
 let page = 4096
 
@@ -119,7 +188,7 @@ let restore ch t ~working_set_pages =
   let cm = Charge.model ch in
   Charge.span ch Trace.In_monitor "snapshot-restore" (fun () ->
       (* CoW mapping setup: per-page bookkeeping across the image *)
-      let pages = (Bytes.length t.memory + page - 1) / page in
+      let pages = (t.mem_size + page - 1) / page in
       Charge.pay ch
         (int_of_float (cm.Cost_model.pte_write_ns *. float_of_int pages));
       (* first-touch faults of the working set: each fault copies a page *)
@@ -127,9 +196,10 @@ let restore ch t ~working_set_pages =
         (Cost_model.memcpy_cost cm ~in_guest:false (working_set_pages * page));
       Charge.pay ch (int_of_float cm.Cost_model.vmm_entry_ns));
   (* the clone itself: in a real CoW restore this is lazy; the simulation
-     materializes it so the guest is fully inspectable *)
-  let mem = Guest_mem.create ~size:(Bytes.length t.memory) in
-  Guest_mem.write_bytes mem ~pa:0 t.memory;
+     materializes it so the guest is fully inspectable. Only the frames
+     are blitted — the rest of the fresh guest is already zero. *)
+  let mem = Guest_mem.create ~size:t.mem_size in
+  List.iter (fun (pa, data) -> Guest_mem.write_bytes mem ~pa data) t.frames;
   let stats = Imk_guest.Runtime.verify_boot mem t.params in
   { Vmm.config = t.config; params = t.params; stats; mem }
 

@@ -22,12 +22,19 @@ exception Corrupt of string
     garbage into a guest. *)
 
 val capture : Vmm.boot_result -> t
-(** [capture result] snapshots a booted guest: full memory image plus the
-    boot parameters. The source VM remains usable. *)
+(** [capture result] snapshots a booted guest: its dirty ranges, framed,
+    plus the boot parameters. Everything outside the frames is zero by
+    the {!Imk_memory.Guest_mem} invariant, so the frames reconstruct the
+    image exactly while the snapshot costs memory proportional to what
+    the boot wrote, not to guest size. Capture reads through the
+    tracker's read-only accessors: the source VM remains usable and its
+    dirty extent — hence its next {!Imk_memory.Arena} scrub cost — is
+    exactly what it would have been without the capture. *)
 
 val encoded_bytes : t -> int
 (** Serialized size (what a snapshot costs to keep on disk or in a
-    zygote pool). *)
+    zygote pool) — header + dirty-range frames + trailer, far below
+    guest size for a typical boot. *)
 
 val layout_seed_of : t -> int
 (** A fingerprint of the captured layout (virtual base ⊕ a hash of the
@@ -35,16 +42,19 @@ val layout_seed_of : t -> int
     on it. *)
 
 val serialize : t -> bytes
-(** [serialize t] is the byte-exact on-disk form: a fixed header, the
-    boot parameters, the memory image, and a CRC32 trailer over
+(** [serialize t] is the byte-exact on-disk form (version 2): a fixed
+    header with the boot parameters and guest size, a frame count, the
+    dirty-range frames as [(pa, len, data)], and a CRC32 trailer over
     everything before it. [load ~config (serialize t)] round-trips. *)
 
 val load : config:Vm_config.t -> bytes -> t
 (** [load ~config b] validates and decodes {!serialize}'s output,
     rehydrating against the supplied VM config (configs are host-side
     objects, not serialized state). Raises {!Corrupt} on bad magic or
-    version, truncation, length inconsistencies, or a CRC32 mismatch —
-    a single flipped bit anywhere in [b] is caught. *)
+    version, truncation, length inconsistencies, frames that are
+    unsorted, overlapping or outside the guest, or a CRC32 mismatch —
+    a single flipped bit anywhere in [b] is caught. Frame lengths are
+    validated against the remaining blob before any allocation. *)
 
 val restore :
   Imk_vclock.Charge.t -> t -> working_set_pages:int -> Vmm.boot_result

@@ -359,6 +359,91 @@ let qcheck_truncation codec =
       | out -> Bytes.equal out input (* only possible if nothing was lost *)
       | exception Codec.Corrupt _ -> true)
 
+(* sink oracle: decompress_into is pinned to the allocating decode
+   byte-for-byte, and never writes outside the validated destination
+   window — sentinel bytes on both sides must survive the decode *)
+let qcheck_into_equiv codec =
+  QCheck.Test.make
+    ~name:
+      (Printf.sprintf "%s: decompress_into ≡ decompress" codec.Codec.name)
+    ~count:60
+    QCheck.(pair arbitrary_input small_nat)
+    (fun (input, off0) ->
+      let compressed = codec.Codec.compress input in
+      let expect = codec.Codec.decompress compressed in
+      let dst_off = off0 mod 64 in
+      let dst = Bytes.make (dst_off + Bytes.length expect + 64) '\xab' in
+      let n = codec.Codec.decompress_into compressed ~dst ~dst_off in
+      let confined = ref true in
+      for i = 0 to dst_off - 1 do
+        if Bytes.get dst i <> '\xab' then confined := false
+      done;
+      for i = dst_off + n to Bytes.length dst - 1 do
+        if Bytes.get dst i <> '\xab' then confined := false
+      done;
+      n = Bytes.length expect
+      && Bytes.equal expect (Bytes.sub dst dst_off n)
+      && !confined)
+
+(* corrupt sinks fail typed: any mutation or truncation of the frame
+   either decodes to the original or raises Corrupt — never
+   Invalid_argument (qcheck reports any other exception as a failure) —
+   and never writes below the destination offset. The destination is
+   sized exactly to the true output so an inflated length field is
+   rejected before a single byte lands. *)
+let qcheck_into_corrupt codec =
+  QCheck.Test.make
+    ~name:
+      (Printf.sprintf "%s: corrupt sink decodes fail typed, confined"
+         codec.Codec.name)
+    ~count:60
+    QCheck.(
+      quad (string_of_size Gen.(1 -- 512)) small_nat small_nat bool)
+    (fun (s, pos, delta, truncate) ->
+      let input = Bytes.of_string s in
+      let compressed = codec.Codec.compress input in
+      let frame =
+        if truncate then
+          Bytes.sub compressed 0 (pos mod Bytes.length compressed)
+        else begin
+          let b = Bytes.copy compressed in
+          let i = pos mod Bytes.length b in
+          Bytes.set b i
+            (Char.chr
+               (Char.code (Bytes.get b i) lxor (1 + (delta mod 255))));
+          b
+        end
+      in
+      let dst_off = 32 in
+      let dst = Bytes.make (dst_off + Bytes.length input) '\xab' in
+      let prefix_confined () =
+        let ok = ref true in
+        for i = 0 to dst_off - 1 do
+          if Bytes.get dst i <> '\xab' then ok := false
+        done;
+        !ok
+      in
+      match codec.Codec.decompress_into frame ~dst ~dst_off with
+      | n ->
+          prefix_confined () && n = Bytes.length input
+          && Bytes.equal input (Bytes.sub dst dst_off n)
+      | exception Codec.Corrupt _ -> prefix_confined ())
+
+let test_into_rejects_bad_destination () =
+  let codec = Registry.find "none" in
+  let frame = codec.Codec.compress (Bytes.of_string "payload") in
+  (* caller bugs are Invalid_argument (programming error), not Corrupt *)
+  check Alcotest.bool "negative offset" true
+    (match codec.Codec.decompress_into frame ~dst:(Bytes.make 64 ' ') ~dst_off:(-1) with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  (* an untrusted length that overflows the destination is the frame's
+     fault, so it classifies as Corrupt *)
+  check Alcotest.bool "output exceeds destination" true
+    (match codec.Codec.decompress_into frame ~dst:(Bytes.make 3 ' ') ~dst_off:0 with
+    | _ -> false
+    | exception Codec.Corrupt _ -> true)
+
 let qcheck_huffman_kraft =
   QCheck.Test.make ~name:"huffman lengths always satisfy kraft" ~count:200
     QCheck.(list_of_size Gen.(1 -- 64) (int_bound 10_000))
@@ -588,7 +673,14 @@ let () =
             test_compression_actually_compresses;
           Alcotest.test_case "ratio ordering" `Quick
             test_ratio_ordering_on_kernel_like_data;
+          Alcotest.test_case "sink rejects bad destination" `Quick
+            test_into_rejects_bad_destination;
         ] );
+      ( "sinks",
+        List.map (fun c -> Testkit.to_alcotest (qcheck_into_equiv c))
+          Registry.all
+        @ List.map (fun c -> Testkit.to_alcotest (qcheck_into_corrupt c))
+            Registry.all );
       ( "roundtrips",
         List.concat_map roundtrip_tests Registry.all
         @ List.map (fun c -> Testkit.to_alcotest (qcheck_roundtrip c))

@@ -201,6 +201,41 @@ let qcheck_crc_differs =
       Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x01));
       before <> Crc.crc32 b 0 (Bytes.length b))
 
+let qcheck_crc_slice_matches_ref =
+  (* the slice-by-8 word loop is pinned to the checked byte-at-a-time
+     reference over arbitrary (bytes, off, len, init) — unaligned
+     offsets, odd tails shorter than a word, and every init value the
+     chaining API can produce *)
+  QCheck.Test.make ~name:"crc32 slice-by-8 ≡ crc32_ref on any range"
+    ~count:500
+    QCheck.(
+      quad
+        (string_of_size Gen.(0 -- 300))
+        small_nat small_nat (option int))
+    (fun (s, off0, len0, init) ->
+      let b = Bytes.of_string s in
+      let n = Bytes.length b in
+      let off = if n = 0 then 0 else off0 mod (n + 1) in
+      let len = if n - off = 0 then 0 else len0 mod (n - off + 1) in
+      let init = Option.map (fun i -> i land 0xffffffff) init in
+      Crc.crc32 ?init b off len = Crc.crc32_ref ?init b off len)
+
+let qcheck_crc_chaining =
+  (* splitting a buffer at any point and chaining ~init composes to the
+     one-shot CRC — the property the word loop's tail handoff relies on *)
+  QCheck.Test.make ~name:"crc32 chained halves ≡ whole" ~count:300
+    QCheck.(pair (string_of_size Gen.(1 -- 200)) small_nat)
+    (fun (s, cut0) ->
+      let b = Bytes.of_string s in
+      let n = Bytes.length b in
+      let cut = cut0 mod (n + 1) in
+      let whole = Crc.crc32 b 0 n in
+      let chained = Crc.crc32 ~init:(Crc.crc32 b 0 cut) b cut (n - cut) in
+      let chained_ref =
+        Crc.crc32_ref ~init:(Crc.crc32_ref b 0 cut) b cut (n - cut)
+      in
+      whole = chained && whole = chained_ref)
+
 let qcheck_stats_bounds =
   QCheck.Test.make ~name:"mean lies within [min, max]" ~count:200
     QCheck.(list_of_size Gen.(1 -- 50) (float_bound_exclusive 1000.))
@@ -254,6 +289,8 @@ let () =
           Alcotest.test_case "crc32 incremental" `Quick test_crc32_incremental;
           Alcotest.test_case "adler32 vector" `Quick test_adler32_known;
           Testkit.to_alcotest qcheck_crc_differs;
+          Testkit.to_alcotest qcheck_crc_slice_matches_ref;
+          Testkit.to_alcotest qcheck_crc_chaining;
         ] );
       ( "stats",
         [
