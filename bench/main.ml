@@ -18,6 +18,9 @@
      bench/main.exe --no-plan-cache disable the shared boot-plan cache
                                     (A/B baseline; telemetry is
                                     bit-identical either way)
+     bench/main.exe --contend 2,4   capacities for the fig9 contention
+                                    row: disk-bandwidth units, decompress
+                                    slots (default 1,1 — full contention)
      bench/main.exe --exp diffcheck --mutate
                                     plant an off-by-one in the cross-path
                                     oracle; the campaign must report it
@@ -38,12 +41,13 @@ let trace_path = ref None
 let no_plan_cache = ref false
 let mutate = ref false
 let requests = ref None
+let contend = ref None
 
 let usage () =
   prerr_endline
     "usage: main.exe [--exp <id>]... [--runs N] [--functions N] [--scale N] [--jobs N]\n\
      \               [--baseline BENCH_<id>.json] [--threshold PCT] [--trace out.json]\n\
-     \               [--no-plan-cache] [--mutate] [--requests N]\n\
+     \               [--no-plan-cache] [--mutate] [--requests N] [--contend D,S]\n\
      experiments: table1 fig3 fig4 fig5 fig6 fig9 fig10 fig11 qemu throughput security faults resilience diffcheck fleet\n\
      \             ablation-kallsyms ablation-orc ablation-page-sharing ablation-rerando ablation-zygote ablation-unikernel ablation-devices micro all";
   exit 2
@@ -82,6 +86,11 @@ let rec parse = function
       parse rest
   | "--requests" :: v :: rest ->
       requests := Some (int_of_string v);
+      parse rest
+  | "--contend" :: v :: rest ->
+      (match String.split_on_char ',' v with
+      | [ d; s ] -> contend := Some (int_of_string d, int_of_string s)
+      | _ -> usage ());
       parse rest
   | _ -> usage ()
 
@@ -411,6 +420,11 @@ let () =
   parse (List.tl (Array.to_list Sys.argv));
   jobs := max 1 !jobs;
   Imk_harness.Boot_runner.default_jobs := !jobs;
+  (match !contend with
+  | None -> ()
+  | Some (d, s) ->
+      if d < 1 || s < 1 then usage ();
+      Imk_harness.Boot_runner.contend_capacities := (d, s));
   let requested = if !exps = [] then [ "all" ] else List.rev !exps in
   let ws =
     Imk_harness.Workspace.create ~scale:!scale ?functions_override:!functions

@@ -146,7 +146,7 @@ let run ?(hooks = default_hooks) ?choices ch mem ~bzimage ~staging_pa ~config
             Charge.pay ch
               (Cost_model.memcpy_cost cm ~in_guest:true (modeled config uncompressed_len))
         | Bzimage.Standard, codec ->
-            Charge.pay ch
+            Charge.pay_using ch Sched.Decompress
               (Cost_model.decompress_cost cm ~codec
                  ~out_bytes:(modeled config uncompressed_len))
         | Bzimage.None_optimized, _ -> ());

@@ -20,8 +20,7 @@ let boot ?plans ?choices ?arena ?mem cache vm =
 
 (* invariants phrased as "telemetry is bit-identical" are checked at span
    granularity: same labels, same phases, same start/stop instants *)
-let spans_diff ta tb =
-  let la = Imk_vclock.Trace.spans ta and lb = Imk_vclock.Trace.spans tb in
+let span_list_diff la lb =
   if List.length la <> List.length lb then
     Some
       (Printf.sprintf "span count: %d vs %d" (List.length la)
@@ -41,6 +40,9 @@ let spans_diff ta tb =
             if sa = sb then None
             else Some (Printf.sprintf "span %s vs %s" (pp sa) (pp sb)))
       None la lb
+
+let spans_diff ta tb =
+  span_list_diff (Imk_vclock.Trace.spans ta) (Imk_vclock.Trace.spans tb)
 
 (* an oracle must report a boot that dies as a divergence of the
    comparison, not kill the campaign: the exception text is the finding.
@@ -90,6 +92,57 @@ let cross_path ?(mutate = false) () =
           let b = Layout.of_result rb in
           let b = if mutate then plant_off_by_one b else b in
           layout_outcome a b);
+  }
+
+(* --- linear clock ≡ solo boot on the event scheduler --- *)
+
+(* the planted sensitivity fault for the event core: one event
+   reordering, surfaced as two adjacent spans swapped in the recorded
+   trace. Every boot records at least two spans, so the exact span
+   comparison below must always report it *)
+let swap_adjacent = function a :: b :: rest -> b :: a :: rest | l -> l
+
+let event_core_solo ?(mutate = false) () =
+  {
+    id = "event-core-solo";
+    doc = "a solo boot on the event scheduler charges the linear clock's spans";
+    run =
+      of_run (fun images point ~note ->
+          (* a private env per side (as in [plan_cache]): both boots read
+             a cold cache, so read costs cannot skew the comparison. The
+             bz path sweeps the point's codec through the decompress
+             slot; the direct path would never exercise it *)
+          let env_a = Env.instantiate images in
+          let ta, ra = boot env_a.Env.cache (Env.bz_config env_a point) in
+          note "linear" ta;
+          let env_b = Env.instantiate images in
+          let sched = Imk_vclock.Sched.create () in
+          let tl = Imk_vclock.Sched.timeline sched in
+          let trace =
+            Imk_vclock.Trace.create (Imk_vclock.Sched.timeline_clock tl)
+          in
+          let ch =
+            Imk_vclock.Charge.create ~sched:tl trace
+              Imk_vclock.Cost_model.default
+          in
+          let result = ref None in
+          Imk_vclock.Sched.spawn sched tl (fun () ->
+              result :=
+                Some
+                  (Imk_monitor.Vmm.boot ch env_b.Env.cache
+                     (Env.bz_config env_b point)));
+          Imk_vclock.Sched.run sched;
+          note "event-core" trace;
+          let spans_b = Imk_vclock.Trace.spans trace in
+          let spans_b = if mutate then swap_adjacent spans_b else spans_b in
+          match span_list_diff (Imk_vclock.Trace.spans ta) spans_b with
+          | Some d -> Divergence ("trace " ^ d)
+          | None -> (
+              match !result with
+              | None -> Divergence "event-core boot completed without a result"
+              | Some rb ->
+                  layout_outcome ~compare_phys:true (Layout.of_result ra)
+                    (Layout.of_result rb)));
   }
 
 (* --- plan cache on ≡ off --- *)
@@ -191,7 +244,13 @@ let arena_fresh =
   }
 
 let catalogue ~mutate =
-  [ cross_path ~mutate (); plan_cache; snapshot_cold; arena_fresh ]
+  [
+    cross_path ~mutate ();
+    event_core_solo ~mutate ();
+    plan_cache;
+    snapshot_cold;
+    arena_fresh;
+  ]
 
 let compare_series a b =
   if List.length a <> List.length b then

@@ -37,6 +37,17 @@ val cross_path : ?mutate:bool -> unit -> t
     physical base, which only the monitor randomizes). [mutate] plants
     the sensitivity fault described above. *)
 
+val event_core_solo : ?mutate:bool -> unit -> t
+(** Linear clock ≡ event core (solo): the point's bzImage booted once on
+    the plain linear clock and once as a single {!Imk_vclock.Sched}
+    fiber must charge exactly the same spans — labels, phases, order and
+    instants — and produce the same layout bytes. The bz path routes the
+    point's codec through the scheduler's decompress slot and every
+    image read through its disk-bandwidth unit, so all scheduled-mode
+    charge classes are exercised. [mutate] plants a one-event
+    reordering (two adjacent spans swapped) on the event-core side,
+    which the exact comparison must report. *)
+
 val plan_cache : t
 (** Cache-on ≡ cache-off: the second boot of an image through a shared
     {!Imk_monitor.Plan_cache} must produce exactly the trace spans and

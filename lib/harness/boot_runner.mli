@@ -68,6 +68,41 @@ val boot_many :
     domains — the cache synchronizes internally). Results are
     bit-identical with or without it; only host wall clock changes. *)
 
+val contend_capacities : (int * int) ref
+(** Ambient [(disk_capacity, decompress_slots)] for {!boot_contended}
+    callers that follow the bench [--contend D,S] flag — like
+    {!default_jobs}, set once by the CLI instead of threaded through
+    every experiment. Default [(1, 1)]: one disk-bandwidth unit and one
+    decompress slot, full contention. *)
+
+type contended_stats = {
+  per_boot : phase_stats;
+      (** every boot of every run, aggregated in (run, slot) order —
+          spans include queue waits, so contention shows up here *)
+  makespan : Imk_util.Stats.summary;
+      (** per-run shared-timeline span (last event's virtual time) *)
+}
+
+val boot_contended :
+  ?warmups:int ->
+  ?jobs:int ->
+  ?plans:Imk_monitor.Plan_cache.t ->
+  n:int ->
+  runs:int ->
+  cache:Imk_storage.Page_cache.t ->
+  make_vm:(seed:int64 -> Imk_monitor.Vm_config.t) ->
+  unit ->
+  contended_stats
+(** [boot_contended ~n ~runs ~cache ~make_vm ()] boots [n] guests
+    concurrently on one shared {!Imk_vclock.Sched} timeline per run,
+    with disk-read bandwidth and decompress slots capped at
+    [!contend_capacities] — queue waits stretch each boot's charged
+    spans (DESIGN.md §10). [warmups] (default 5) sequential boots prime
+    the shared cache first; each run then gets a private
+    [Page_cache.clone], a fresh scheduler and [contend_seed]-pure seeds,
+    so the returned stats are bit-identical for any [jobs] fan-out
+    (runs are fanned; each run's scheduler stays single-domain). *)
+
 val warm_seed : int -> int64
 (** Seed of warmup boot [i] (1-based) — a pure function of the index,
     one leg of the [jobs]-invariance contract. *)
@@ -76,6 +111,11 @@ val run_seed : int -> int64
 (** Seed of recorded run [i] (1-based). Shared with
     [Boot_supervisor.supervise_many] so supervised and plain campaigns
     agree on per-run seeds. *)
+
+val contend_seed : run:int -> slot:int -> int64
+(** Seed of guest [slot] (0-based) in contended run [run] (1-based) — a
+    pure function of both, the contended leg of the jobs-invariance
+    contract. *)
 
 val boot_once :
   ?jitter:bool ->

@@ -96,7 +96,7 @@ let rederive_relocs ch ctx (vm : Imk_monitor.Vm_config.t) path =
       let kernel, cached =
         Imk_storage.Page_cache.read ctx.cache vm.Imk_monitor.Vm_config.kernel_path
       in
-      Charge.pay ch
+      Charge.pay_using ch Sched.Disk
         (Cost_model.read_cost cm ~cached (modeled vm (Bytes.length kernel)));
       let elf = Imk_elf.Parser.parse kernel in
       Charge.pay ch
@@ -356,7 +356,7 @@ let supervise_snapshot ?(jitter = true) ?arena ?fleet ?max_retries ~seed ~ctx
                   let blob, cached =
                     Imk_storage.Page_cache.read ctx.cache snapshot_path
                   in
-                  Charge.pay ch
+                  Charge.pay_using ch Sched.Disk
                     (Cost_model.read_cost (Charge.model ch) ~cached
                        (modeled vm (Bytes.length blob)));
                   Imk_monitor.Snapshot.load ~config:vm blob)

@@ -418,11 +418,14 @@ let fig9 ?(runs = 20) ws =
     end
   in
   let rows = ref [] in
+  let cell_p50 = Hashtbl.create 32 in
   Array.iteri
     (fun i (preset, rando, mname, _) ->
       let s = stats.(i) in
       Hashtbl.replace cell (preset, rando_name rando, mname)
         (msf s.Boot_runner.total);
+      Hashtbl.replace cell_p50 (preset, rando_name rando, mname)
+        s.Boot_runner.total.Imk_util.Stats.p50;
       rows :=
         boot_row
           (String.concat "/" [ pname preset; rando_name rando; mname ])
@@ -441,6 +444,50 @@ let fig9 ?(runs = 20) ws =
          ]
         @ min_max_cells s))
     cells;
+  (* contention variant (DESIGN.md §10): [contend_n] kaslr/lz4 guests
+     share one event timeline per run under the ambient --contend
+     capacities, so each boot's spans absorb its queue waits behind the
+     others' disk reads and decompressions. One row, on the lupine
+     preset — the microVM-optimized kernel is the one fleets pack
+     densely enough for the "Study of Firecracker" contention regime to
+     apply. Runs after (and reads nothing from) the solo cells: solo
+     telemetry is byte-identical to a build without this block. *)
+  let contend_n = 12 in
+  let disk_capacity, decompress_slots = !Boot_runner.contend_capacities in
+  let contend_method = Printf.sprintf "lz4-x%d-contended" contend_n in
+  let contended =
+    List.map
+      (fun preset ->
+        Workspace.warm_all ws;
+        let make_vm =
+          bz_vm ws preset (variant_of_rando Vm_config.Rando_kaslr) ~codec:"lz4"
+            ~bz:Bzimage.Standard ~rando:Vm_config.Rando_kaslr ()
+        in
+        let s =
+          Boot_runner.boot_contended ?plans:(Workspace.plans ws) ~n:contend_n
+            ~runs ~cache:(Workspace.cache ws) ~make_vm ()
+        in
+        let b = s.Boot_runner.per_boot in
+        rows :=
+          boot_row
+            (String.concat "/" [ pname preset; "kaslr"; contend_method ])
+            b
+          :: !rows;
+        Imk_util.Table.add_row table
+          ([
+             pname preset;
+             "kaslr";
+             contend_method;
+             msv (msf b.Boot_runner.in_monitor);
+             msv (msf b.Boot_runner.bootstrap);
+             msv (msf b.Boot_runner.decompression);
+             msv (msf b.Boot_runner.linux_boot);
+             msv (msf b.Boot_runner.total);
+           ]
+          @ min_max_cells b);
+        (preset, s))
+      [ Config.Lupine ]
+  in
   let get p r m = Hashtbl.find cell (p, r, m) in
   List.iter
     (fun preset ->
@@ -461,6 +508,21 @@ let fig9 ?(runs = 20) ws =
           (imfg /. baseline) (pct noptfg imfg)
         :: !notes)
     presets;
+  List.iter
+    (fun (preset, (s : Boot_runner.contended_stats)) ->
+      let ms = Imk_util.Units.ns_float_to_ms in
+      let solo_p50 = Hashtbl.find cell_p50 (preset, "kaslr", "lz4") in
+      let cont_p50 = s.Boot_runner.per_boot.Boot_runner.total.Imk_util.Stats.p50 in
+      notes :=
+        Printf.sprintf
+          "%s contention: %d kaslr/lz4 boots on one timeline (disk=%d, \
+           decompress=%d) — per-boot p50 %.1f ms, %.2fx solo lz4 p50 \
+           (%.1f ms); makespan p50 %.1f ms"
+          (pname preset) contend_n disk_capacity decompress_slots
+          (ms cont_p50) (cont_p50 /. solo_p50) (ms solo_p50)
+          (ms s.Boot_runner.makespan.Imk_util.Stats.p50)
+        :: !notes)
+    contended;
   {
     id = "fig9";
     title = "Figure 9: boot time by randomization method (cached, 256 MiB)";
@@ -2036,71 +2098,86 @@ let diffcheck ?(runs = 20) ?(mutate = false) ws =
             })
       oracles
   in
-  (* the planted-fault protocol: --mutate must be CAUGHT, and the first
-     caught point shrinks to a ready-to-paste reproducer *)
+  (* the planted-fault protocol: --mutate must be CAUGHT by every
+     mutating oracle, and each one's first caught point shrinks to a
+     ready-to-paste reproducer *)
+  let mutants =
+    [
+      ("cross-path", "off-by-one", fun () -> O.cross_path ~mutate:true ());
+      ( "event-core-solo",
+        "event reordering",
+        fun () -> O.event_core_solo ~mutate:true () );
+    ]
+  in
   let mutate_notes =
     if not mutate then []
     else
-      let cross =
-        Array.to_list per_run
-        |> List.concat_map
-             (List.filter_map (fun (id, p, (r : O.report)) ->
-                  if id = "cross-path" then Some (p, r.O.outcome) else None))
-      in
-      let caught =
-        List.filter
-          (fun (_, o) -> match o with O.Divergence _ -> true | O.Pass -> false)
-          cross
-      in
-      if List.length caught < List.length cross then
-        [
-          Printf.sprintf
-            "MUTATE NOT CAUGHT: the planted off-by-one passed %d/%d \
-             cross-path comparisons — the oracle cannot fail and is not \
-             evidence"
-            (List.length cross - List.length caught)
-            (List.length cross);
-        ]
-      else
-        match caught with
-        | [] -> [ "mutate: no cross-path comparisons ran" ]
-        | (p0, _) :: _ ->
-            let mutant = O.cross_path ~mutate:true () in
-            let still_fails q =
-              match
-                (mutant.O.run (Imk_check.Env.build ~scale q) q).O.outcome
-              with
-              | O.Divergence _ -> true
-              | O.Pass -> false
-            in
-            let minimal = Imk_check.Shrink.minimize still_fails p0 in
-            Printf.sprintf
-              "mutate: planted off-by-one caught in %d/%d cross-path \
-               comparisons"
-              (List.length caught) (List.length cross)
-            :: String.split_on_char '\n' (Imk_check.Shrink.report minimal)
+      List.concat_map
+        (fun (oid, fault, mk) ->
+          let compared =
+            Array.to_list per_run
+            |> List.concat_map
+                 (List.filter_map (fun (id, p, (r : O.report)) ->
+                      if id = oid then Some (p, r.O.outcome) else None))
+          in
+          let caught =
+            List.filter
+              (fun (_, o) ->
+                match o with O.Divergence _ -> true | O.Pass -> false)
+              compared
+          in
+          if List.length caught < List.length compared then
+            [
+              Printf.sprintf
+                "MUTATE NOT CAUGHT: the planted %s passed %d/%d %s \
+                 comparisons — the oracle cannot fail and is not evidence"
+                fault
+                (List.length compared - List.length caught)
+                (List.length compared) oid;
+            ]
+          else
+            match caught with
+            | [] -> [ Printf.sprintf "mutate: no %s comparisons ran" oid ]
+            | (p0, _) :: _ ->
+                let mutant : O.t = mk () in
+                let still_fails q =
+                  match
+                    (mutant.O.run (Imk_check.Env.build ~scale q) q).O.outcome
+                  with
+                  | O.Divergence _ -> true
+                  | O.Pass -> false
+                in
+                let minimal = Imk_check.Shrink.minimize still_fails p0 in
+                Printf.sprintf "mutate: planted %s caught in %d/%d %s \
+                                comparisons"
+                  fault (List.length caught) (List.length compared) oid
+                :: String.split_on_char '\n' (Imk_check.Shrink.report minimal))
+        mutants
   in
   let verdict_note =
     if mutate then
+      let mutant_ids = List.map (fun (oid, _, _) -> oid) mutants in
       let outside =
         List.length
-          (List.filter (fun (id, _, _) -> id <> "cross-path") !divergences)
+          (List.filter
+             (fun (id, _, _) -> not (List.mem id mutant_ids))
+             !divergences)
       in
       if outside > 0 then
         Printf.sprintf
-          "DIVERGENCE: %d comparisons outside cross-path disagreed under \
-           --mutate — see table"
+          "DIVERGENCE: %d comparisons outside the mutated oracles disagreed \
+           under --mutate — see table"
           outside
       else
         Printf.sprintf
-          "%d comparisons; zero divergences outside cross-path (which is \
-           expected to diverge under --mutate)"
+          "%d comparisons; zero divergences outside cross-path and \
+           event-core-solo (which are expected to diverge under --mutate)"
           !comparisons
     else if !divergent_total = 0 then
       Printf.sprintf
         "zero divergences across %d comparisons — monitor/loader layouts, \
-         plan-cache traces, snapshot clones, arena recycling and jobs \
-         fan-out all agree bit for bit"
+         event-core solo traces, plan-cache traces, snapshot clones, arena \
+         recycling and jobs fan-out all agree bit for bit"
         !comparisons
     else
       Printf.sprintf "DIVERGENCE: %d of %d comparisons disagreed — see table"

@@ -24,5 +24,6 @@ let blk_read ch cache ~image ~off ~len =
   if off < 0 || len < 0 || off + len > Bytes.length contents then
     invalid_arg "Devices.blk_read: out of range";
   let cm = Imk_vclock.Charge.model ch in
-  Imk_vclock.Charge.pay ch (Imk_vclock.Cost_model.read_cost cm ~cached len);
+  Imk_vclock.Charge.pay_using ch Imk_vclock.Sched.Disk
+    (Imk_vclock.Cost_model.read_cost cm ~cached len);
   Bytes.sub contents off len

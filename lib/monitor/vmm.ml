@@ -45,7 +45,7 @@ let read_image ch cache (config : Vm_config.t) path ~what =
   match Imk_storage.Page_cache.read cache path with
   | exception Not_found -> fail "%s image %s not found on disk" what path
   | contents, cached ->
-      Charge.pay ch
+      Charge.pay_using ch Sched.Disk
         (Cost_model.read_cost cm ~cached (modeled config (Bytes.length contents)));
       contents
 

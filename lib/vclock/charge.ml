@@ -2,10 +2,17 @@ type t = {
   trace : Trace.t;
   cm : Cost_model.t;
   jitter : Imk_entropy.Prng.t option;
+  sched : Sched.timeline option;
   mutable deadline : Deadline.t option;
 }
 
-let create ?jitter trace cm = { trace; cm; jitter; deadline = None }
+let create ?jitter ?sched trace cm =
+  (match sched with
+  | Some tl when not (Sched.timeline_clock tl == Trace.clock trace) ->
+      invalid_arg "Charge.create: trace does not record against the timeline"
+  | _ -> ());
+  { trace; cm; jitter; sched; deadline = None }
+
 let trace t = t.trace
 let model t = t.cm
 let clock t = Trace.clock t.trace
@@ -20,12 +27,21 @@ let span t phase label f =
       (match t.deadline with None -> () | Some d -> Deadline.check d);
       v)
 
+let jittered t ns =
+  match t.jitter with
+  | None -> ns
+  | Some rng -> Cost_model.jitter t.cm rng ns
+
 let pay t ns =
-  let ns =
-    match t.jitter with
-    | None -> ns
-    | Some rng -> Cost_model.jitter t.cm rng ns
-  in
-  Clock.advance (Trace.clock t.trace) ns
+  let ns = jittered t ns in
+  match t.sched with
+  | None -> Clock.advance (Trace.clock t.trace) ns
+  | Some _ -> Sched.wait ns
+
+let pay_using t r ns =
+  let ns = jittered t ns in
+  match t.sched with
+  | None -> Clock.advance (Trace.clock t.trace) ns
+  | Some _ -> Sched.busy r ns
 
 let pay_span t phase label ns = span t phase label (fun () -> pay t ns)
